@@ -1,0 +1,28 @@
+.PHONY: install test bench results examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+results: bench
+	python scripts/collect_results.py
+
+examples:
+	python examples/quickstart.py
+	python examples/chatbot_sharegpt.py --fast
+	python examples/summarization_longbench.py --fast
+	python examples/bottleneck_aware.py
+	python examples/latency_breakdown.py
+	python examples/workload_shift.py
+	python examples/fleet_serving.py
+	python examples/placement_planner.py
+	python examples/heterogeneous_cluster.py
+
+clean:
+	rm -rf benchmarks/output .pytest_cache .hypothesis RESULTS.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

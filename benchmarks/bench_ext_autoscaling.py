@@ -1,0 +1,92 @@
+"""Extension: reactive autoscaling under a diurnal load pattern (§7).
+
+Quiet -> rush -> quiet traffic against three fleet configurations:
+
+* **fixed-small** — one always-on WindServe pair (cheap, drowns in the rush);
+* **fixed-large** — four always-on pairs (great service, idle most of the day);
+* **autoscaled** — starts at one pair, scales out during the rush (paying a
+  30 s cold start per member) and back in afterwards.
+
+The question §7 poses: how much of fixed-large's service quality can the
+autoscaler keep while spending closer to fixed-small's GPU-hours?
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
+from repro.core.fleet import build_windserve_fleet
+from repro.harness.report import format_table
+from repro.harness.slo import derive_slo
+from repro.hardware.cluster import ClusterTopology
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import SHAREGPT, get_dataset
+from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
+
+
+def diurnal(model):
+    return generate_shifting_trace(
+        [
+            WorkloadPhase(SHAREGPT, rate=5.0, num_requests=150),
+            WorkloadPhase(SHAREGPT, rate=40.0, num_requests=2400),
+            WorkloadPhase(SHAREGPT, rate=4.0, num_requests=240),
+        ],
+        seed=113,
+        model=model,
+    )
+
+
+def run_autoscaling():
+    model = get_model("opt-13b")
+    slo = derive_slo(model, get_dataset("sharegpt"), ParallelConfig(tp=2))
+    config = SystemConfig(model=model, slo=slo)
+
+    rows = []
+    for label, active in (("fixed-small", 1), ("fixed-large", 4), ("autoscaled", None)):
+        cluster = ClusterTopology(num_nodes=2, gpus_per_node=8)
+        base = build_windserve_fleet(config, cluster)
+        fleet = AutoscalingFleet(
+            base.members,
+            autoscaler=AutoscalerConfig(
+                startup_delay=30.0, scale_out_load=16.0, scale_in_load=2.0
+            ),
+            initially_active=active if active is not None else 1,
+        )
+        if active is not None:
+            # Pin the fleet size: watermark thresholds that never trigger.
+            fleet.autoscaler = AutoscalerConfig(
+                min_active=active,
+                scale_out_load=float("inf"),
+                scale_in_load=-1.0,
+                startup_delay=30.0,
+            )
+        metrics = fleet.run_to_completion(diurnal(model))
+        rows.append(
+            {
+                "fleet": label,
+                "ttft_p50 (s)": metrics.ttft_stats().p50,
+                "ttft_p99 (s)": metrics.ttft_stats().p99,
+                "slo attainment": metrics.slo_attainment(slo),
+                "gpu-seconds": fleet.gpu_hours_used(),
+                "scale events": len(fleet.events),
+            }
+        )
+    return rows
+
+
+def test_autoscaling_tradeoff(benchmark, output_dir):
+    rows = benchmark.pedantic(run_autoscaling, rounds=1, iterations=1)
+    by = {r["fleet"]: r for r in rows}
+    # The autoscaler spends far less than always-on-large...
+    assert by["autoscaled"]["gpu-seconds"] < 0.8 * by["fixed-large"]["gpu-seconds"]
+    # ...while serving far better than always-on-small...
+    assert by["autoscaled"]["slo attainment"] > by["fixed-small"]["slo attainment"]
+    # ...and actually scaling in both directions.
+    assert by["autoscaled"]["scale events"] >= 2
+    rendered = format_table(
+        rows, title="Extension - reactive autoscaling on a diurnal pattern (§7)"
+    )
+    save_report(output_dir, "ext_autoscaling", rows, rendered)

@@ -1,0 +1,51 @@
+"""Simulator performance: how fast the reproduction itself runs.
+
+Not a paper experiment — a health metric for the repository: raw event
+throughput of the discrete-event core, and end-to-end simulated requests
+per wall-clock second for a full WindServe deployment.  Regressions here
+make every other bench slower.
+"""
+
+from __future__ import annotations
+
+from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.sim.engine import Simulator
+
+
+def churn_events(n: int = 50_000) -> int:
+    sim = Simulator()
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+        if count < n:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count
+
+
+def test_event_loop_throughput(benchmark):
+    count = benchmark(churn_events, 50_000)
+    assert count == 50_000
+
+
+def serve_requests() -> int:
+    result = run_experiment(
+        ExperimentSpec(
+            system="windserve",
+            model="opt-13b",
+            dataset="sharegpt",
+            rate_per_gpu=3.0,
+            num_requests=300,
+            seed=1,
+        )
+    )
+    return result.summary["completed"]
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    completed = benchmark.pedantic(serve_requests, rounds=3, iterations=1)
+    assert completed >= 280

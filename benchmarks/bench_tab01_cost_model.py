@@ -1,0 +1,68 @@
+"""Table 1: per-layer FLOPs / IO analysis of Attention and FFN.
+
+Regenerates the paper's cost table for the OPT family symbolically (the
+general formulas reduce to ``8NH^2+4N^2H`` etc. for MHA + 4H FFN) and
+benchmarks the analytic model's evaluation speed — it sits on the Global
+Scheduler's critical path, so it must be cheap.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.harness.report import format_table
+from repro.models.costs import (
+    attn_flops_decode,
+    attn_flops_prefill,
+    ffn_flops_decode,
+    ffn_flops_prefill,
+    layer_io_bytes_decode,
+    layer_io_bytes_prefill,
+)
+from repro.models.registry import OPT_13B
+
+
+def build_rows() -> list[dict]:
+    h = OPT_13B.hidden_size
+    n, b, sum_l = 1024, 16, 16 * 1024
+    rows = []
+    rows.append(
+        {
+            "module": "Attn",
+            "prefill FLOPs (model)": attn_flops_prefill(OPT_13B, n),
+            "prefill FLOPs (paper 8NH^2+4N^2H)": 8 * n * h**2 + 4 * n**2 * h,
+            "decode FLOPs (model)": attn_flops_decode(OPT_13B, b, sum_l),
+            "decode FLOPs (paper 8BH^2+4sLH)": 8 * b * h**2 + 4 * sum_l * h,
+        }
+    )
+    rows.append(
+        {
+            "module": "FFN",
+            "prefill FLOPs (model)": ffn_flops_prefill(OPT_13B, n),
+            "prefill FLOPs (paper 8NH^2+4N^2H)": 16 * n * h**2,
+            "decode FLOPs (model)": ffn_flops_decode(OPT_13B, b),
+            "decode FLOPs (paper 8BH^2+4sLH)": 16 * b * h**2,
+        }
+    )
+    rows.append(
+        {
+            "module": "IO/layer (bytes)",
+            "prefill FLOPs (model)": layer_io_bytes_prefill(OPT_13B, n),
+            "prefill FLOPs (paper 8NH^2+4N^2H)": None,
+            "decode FLOPs (model)": layer_io_bytes_decode(OPT_13B, b, sum_l),
+            "decode FLOPs (paper 8BH^2+4sLH)": 24 * h**2 + sum_l * 4 * h,
+        }
+    )
+    return rows
+
+
+def test_table1_cost_model(benchmark, output_dir):
+    rows = benchmark(build_rows)
+    for row in rows[:2]:
+        assert row["prefill FLOPs (model)"] == row["prefill FLOPs (paper 8NH^2+4N^2H)"]
+        assert row["decode FLOPs (model)"] == row["decode FLOPs (paper 8BH^2+4sLH)"]
+    rendered = format_table(
+        rows, title="Table 1 - per-layer overheads, OPT-13B (N=1024, B=16, sum L=16K)",
+        precision=0,
+    )
+    save_report(output_dir, "tab01_cost_model", rows, rendered)

@@ -1,0 +1,53 @@
+"""Table 2: dataset statistics of the evaluation workloads.
+
+Regenerates the paper's Table 2 from the synthetic generators and checks
+each published moment is matched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_report
+
+from repro.harness.report import format_table
+from repro.sim.random import RandomStreams
+from repro.workloads.datasets import LONGBENCH, SHAREGPT
+
+
+def build_rows(n: int = 100_000) -> list[dict]:
+    rows = []
+    for dataset in (SHAREGPT, LONGBENCH):
+        streams = RandomStreams(0)
+        prompts = dataset.prompt.sample(streams.get("p"), n)
+        outputs = dataset.output.sample(streams.get("o"), n)
+        rows.append(
+            {
+                "dataset": dataset.name,
+                "prompt avg": prompts.mean(),
+                "prompt med": float(np.median(prompts)),
+                "prompt P90": float(np.percentile(prompts, 90)),
+                "output avg": outputs.mean(),
+                "output med": float(np.median(outputs)),
+                "output P90": float(np.percentile(outputs, 90)),
+                "paper prompt (avg/med/P90)": "/".join(map(str, dataset.prompt_stats)),
+                "paper output (avg/med/P90)": "/".join(map(str, dataset.output_stats)),
+            }
+        )
+    return rows
+
+
+def test_table2_dataset_stats(benchmark, output_dir):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    for row, dataset in zip(rows, (SHAREGPT, LONGBENCH)):
+        assert row["prompt med"] == pytest_approx(dataset.prompt_stats[1], 0.06)
+        assert row["prompt P90"] == pytest_approx(dataset.prompt_stats[2], 0.10)
+        assert row["prompt avg"] == pytest_approx(dataset.prompt_stats[0], 0.12)
+        assert row["output med"] == pytest_approx(dataset.output_stats[1], 0.25)
+    rendered = format_table(rows, title="Table 2 - generated dataset statistics", precision=1)
+    save_report(output_dir, "tab02_datasets", rows, rendered)
+
+
+def pytest_approx(value: float, rel: float):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

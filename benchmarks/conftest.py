@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation.  Runs print the paper-style rows (use ``pytest -s``) and write
+them under ``benchmarks/output/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_report(output_dir: Path, name: str, rows: list[dict], rendered: str) -> None:
+    """Persist one experiment's rows (JSON) and rendered table (txt)."""
+    (output_dir / f"{name}.json").write_text(json.dumps(rows, indent=2, default=str))
+    (output_dir / f"{name}.txt").write_text(rendered + "\n")
+    print("\n" + rendered)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fleet serving across a two-node cluster (paper §7 future work).
+
+Places four WindServe prefill/decode pairs across two 8-GPU nodes behind
+a Profiler-predicted-TTFT router, serves a bursty chatbot workload, and
+compares router policies.
+
+Run:  python examples/fleet_serving.py
+"""
+
+from repro import ParallelConfig, SystemConfig, format_table, get_dataset, get_model
+from repro.core.fleet import build_windserve_fleet
+from repro.harness import derive_slo
+from repro.hardware import ClusterTopology
+from repro.workloads import generate_trace
+
+RATE_PER_GPU = 3.0
+
+
+def main() -> None:
+    model = get_model("opt-13b")
+    dataset = get_dataset("sharegpt")
+    slo = derive_slo(model, dataset, ParallelConfig(tp=2))
+    config = SystemConfig(model=model, slo=slo)
+
+    rows = []
+    for policy in ("round-robin", "least-loaded", "predicted-ttft"):
+        cluster = ClusterTopology(num_nodes=2, gpus_per_node=8)
+        fleet = build_windserve_fleet(config, cluster, policy=policy)
+        trace = generate_trace(
+            dataset,
+            rate=RATE_PER_GPU * fleet.num_gpus,
+            num_requests=600,
+            seed=11,
+            model=model,
+            arrival_process="bursty",
+            burstiness_cv=3.0,
+        )
+        metrics = fleet.run_to_completion(trace)
+        rows.append(
+            {
+                "router": policy,
+                "members": len(fleet.members),
+                "gpus": fleet.num_gpus,
+                "ttft_p50 (s)": metrics.ttft_stats().p50,
+                "ttft_p99 (s)": metrics.ttft_stats().p99,
+                "tpot_p99 (ms)": metrics.tpot_stats().p99 * 1e3,
+                "slo %": metrics.slo_attainment(slo) * 100,
+                "split": "/".join(map(str, fleet.routed)),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"WindServe fleet, 2 nodes x 8 GPUs, bursty arrivals @ "
+            f"{RATE_PER_GPU} req/s/GPU",
+        )
+    )
+    print(
+        "\nThe Profiler-predicted-TTFT router reuses the Global Scheduler's"
+        " token-based\nestimates as a cluster-level balancer — the same"
+        " 'tokens, not request counts'\ninsight the paper applies inside"
+        " one deployment."
+    )
+
+
+if __name__ == "__main__":
+    main()

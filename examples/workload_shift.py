@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Workload shift: replanning vs dynamic scheduling (paper §2.2).
+
+A chatbot morning (ShareGPT at high rate) turns into a summarisation
+afternoon (LongBench, long prompts).  Three contenders on one 8-GPU node:
+
+* DistServe pinned to the chatbot-optimal placement;
+* DistServe that monitors the pattern and *replans* — paying a restart
+  stall when it switches placements;
+* WindServe on a fixed balanced placement, adapting at runtime via
+  dynamic dispatch and rescheduling.
+
+Also prints a WindServe activity timeline so you can watch the Global
+Scheduler react to the shift.
+
+Run:  python examples/workload_shift.py
+"""
+
+from repro import format_table, get_model, ParallelConfig, SLO, SystemConfig
+from repro.baselines import DistServeSystem, ReplanningDistServeSystem
+from repro.core import WindServeSystem
+from repro.harness import derive_slo, render_timeline
+from repro.hardware import NodeTopology
+from repro.serving.placement import plan_pd_placement
+from repro.workloads import LONGBENCH, SHAREGPT, WorkloadPhase, generate_shifting_trace, get_dataset
+
+
+def make_trace(model):
+    return generate_shifting_trace(
+        [
+            WorkloadPhase(SHAREGPT, rate=12.0, num_requests=300),
+            WorkloadPhase(LONGBENCH, rate=6.0, num_requests=300),
+        ],
+        seed=7,
+        model=model,
+    )
+
+
+def main() -> None:
+    model = get_model("opt-13b")
+    slo = derive_slo(model, get_dataset("sharegpt"), ParallelConfig(tp=2))
+
+    chat_plan = plan_pd_placement(
+        NodeTopology(num_gpus=8), ParallelConfig(tp=2, pp=1), ParallelConfig(tp=2, pp=3)
+    )
+    summarise_plan = plan_pd_placement(
+        NodeTopology(num_gpus=8), ParallelConfig(tp=2, pp=3), ParallelConfig(tp=2, pp=1)
+    )
+    balanced = plan_pd_placement(
+        NodeTopology(num_gpus=8), ParallelConfig(tp=2, pp=2), ParallelConfig(tp=2, pp=2)
+    )
+
+    rows = []
+    windserve = None
+    for name in ("distserve-static", "distserve-replan", "windserve"):
+        if name == "distserve-static":
+            system = DistServeSystem(
+                SystemConfig(model=model, slo=slo),
+                placement=chat_plan,
+                topology=NodeTopology(num_gpus=8),
+            )
+        elif name == "distserve-replan":
+            system = ReplanningDistServeSystem(
+                SystemConfig(model=model, slo=slo),
+                alternatives=[chat_plan, summarise_plan],
+                topology=NodeTopology(num_gpus=8),
+            )
+        else:
+            system = windserve = WindServeSystem(
+                SystemConfig(model=model, slo=slo, trace_enabled=True),
+                placement=balanced,
+                topology=NodeTopology(num_gpus=8),
+            )
+        metrics = system.run_to_completion(make_trace(model))
+        rows.append(
+            {
+                "system": name,
+                "ttft_p50 (s)": metrics.ttft_stats().p50,
+                "ttft_p99 (s)": metrics.ttft_stats().p99,
+                "tpot_p99 (ms)": metrics.tpot_stats().p99 * 1e3,
+                "slo %": metrics.slo_attainment(slo) * 100,
+                "replans": getattr(system, "replan_count", 0),
+            }
+        )
+
+    print(format_table(rows, title="ShareGPT -> LongBench shift on one 8-GPU node"))
+    print(
+        "\nReplanning pays a restart stall and still lags; WindServe's"
+        " runtime scheduling\nabsorbs the shift with no reconfiguration"
+        " (the paper's §2.2 argument).\n"
+    )
+    print(render_timeline(windserve, bins=70))
+
+
+if __name__ == "__main__":
+    main()

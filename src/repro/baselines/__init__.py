@@ -1,0 +1,27 @@
+"""Baseline serving systems re-implemented for comparison.
+
+* :class:`~repro.baselines.distserve.DistServeSystem` — static
+  phase-disaggregated serving (DistServe, OSDI'24): separate prefill and
+  decode instances, FCFS local queues, post-prefill blocking KV hand-off,
+  no cross-instance dynamic scheduling.
+* :class:`~repro.baselines.vllm.VLLMSystem` — colocated continuous batching
+  with chunked prefill (vLLM v0.4.2 with ``enable_chunked_prefill``), one or
+  more replicas.
+"""
+
+from repro.baselines.distserve import (
+    DistServeDecodeInstance,
+    DistServePrefillInstance,
+    DistServeSystem,
+)
+from repro.baselines.vllm import VLLMInstance, VLLMSystem
+from repro.baselines.replanning import ReplanningDistServeSystem
+
+__all__ = [
+    "ReplanningDistServeSystem",
+    "DistServeSystem",
+    "DistServePrefillInstance",
+    "DistServeDecodeInstance",
+    "VLLMSystem",
+    "VLLMInstance",
+]

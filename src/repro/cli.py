@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Run single experiments, rate sweeps, or placement searches without writing
+Python::
+
+    python -m repro run --system windserve --model opt-13b --dataset sharegpt \
+        --rate 4.0 --requests 500
+    python -m repro sweep --systems windserve,distserve,vllm --rates 2,3,4,5
+    python -m repro placement --model opt-13b --dataset sharegpt --rate 1.5
+    python -m repro models
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.placement_search import search_placement
+from repro.harness.report import format_table
+from repro.harness.runner import SYSTEM_NAMES, ExperimentSpec, run_experiment
+from repro.models.registry import MODEL_REGISTRY
+from repro.workloads.datasets import DATASET_REGISTRY
+
+
+def _parse_parallel(value: str) -> tuple[int, int]:
+    """Parse 'tp2pp1' / '2,1' / '2' into (tp, pp)."""
+    value = value.lower().replace("tp", "").replace("pp", ",").strip(",")
+    parts = [p for p in value.replace(" ", "").split(",") if p]
+    if len(parts) == 1:
+        return int(parts[0]), 1
+    if len(parts) == 2:
+        return int(parts[0]), int(parts[1])
+    raise argparse.ArgumentTypeError(f"cannot parse parallelism {value!r}")
+
+
+def _spec_from_args(args: argparse.Namespace, system: str, rate: float) -> ExperimentSpec:
+    return ExperimentSpec(
+        system=system,
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        prefill_parallel=args.prefill_parallel,
+        decode_parallel=args.decode_parallel,
+        num_node_gpus=args.node_gpus,
+        arrival_process=args.arrivals,
+        burstiness_cv=args.burstiness,
+    )
+
+
+def _result_row(result) -> dict:
+    row = result.row()
+    row["slo_ttft_s"] = result.slo.ttft
+    row["slo_tpot_s"] = result.slo.tpot
+    return row
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_spec_from_args(args, args.system, args.rate))
+    row = _result_row(result)
+    if args.json:
+        print(json.dumps({"summary": row, "counters": result.counters}, indent=2))
+    else:
+        print(format_table([row], columns=list(row)[:12]))
+        interesting = {k: v for k, v in result.counters.items() if v}
+        if interesting:
+            print("\ncounters:", ", ".join(f"{k}={v}" for k, v in sorted(interesting.items())))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for rate in args.rates:
+        for system in args.systems:
+            result = run_experiment(_spec_from_args(args, system, rate))
+            rows.append(_result_row(result))
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "rate_per_gpu",
+                    "system",
+                    "ttft_p50",
+                    "ttft_p99",
+                    "tpot_p90",
+                    "tpot_p99",
+                    "slo_attainment",
+                    "swap_events",
+                ],
+            )
+        )
+    return 0
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    scores = search_placement(
+        system=args.system,
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=args.requests,
+        num_node_gpus=args.node_gpus,
+        seed=args.seed,
+    )
+    rows = [
+        {
+            "placement": s.label(),
+            "gpus": s.gpus_used,
+            "slo_attainment": s.slo_attainment,
+            "goodput_per_gpu": s.goodput_per_gpu,
+        }
+        for s in scores
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows))
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.harness.breakdown import breakdown_rows
+    from repro.harness.timeline import render_timeline
+    from repro.harness.runner import build_system, resolve_slo
+    from repro.models.registry import get_model
+    from repro.workloads.datasets import get_dataset
+    from repro.workloads.trace import generate_trace
+
+    spec = _spec_from_args(args, args.system, args.rate)
+    slo = resolve_slo(spec)
+    system = build_system(spec, slo)
+    # The timeline needs tracing; flip it on before any batch runs.
+    system.trace.enabled = True
+    for instance in system.instances:
+        instance.trace = system.trace
+    trace = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * spec.gpus_used,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        arrival_process=spec.arrival_process,
+        burstiness_cv=spec.burstiness_cv,
+    )
+    metrics = system.run_to_completion(trace)
+    rows = breakdown_rows(metrics.completed, label=spec.system)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_table(rows, precision=4))
+    print()
+    print(render_timeline(system, bins=60))
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "params_b": spec.total_params / 1e9,
+            "layers": spec.num_layers,
+            "hidden": spec.hidden_size,
+            "heads": spec.num_heads,
+            "kv_heads": spec.num_kv_heads,
+            "context": spec.max_context,
+            "kv_kib_per_token": spec.kv_bytes_per_token / 1024,
+        }
+        for spec in MODEL_REGISTRY.values()
+    ]
+    print(format_table(rows, precision=1))
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": d.name,
+            "prompt avg/med/p90": "/".join(str(x) for x in d.prompt_stats),
+            "output avg/med/p90": "/".join(str(x) for x in d.output_stats),
+        }
+        for d in DATASET_REGISTRY.values()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="opt-13b", choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--dataset", default="sharegpt", choices=sorted(DATASET_REGISTRY))
+    parser.add_argument("--requests", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--prefill-parallel", type=_parse_parallel, default=(2, 1), metavar="TPxPPy"
+    )
+    parser.add_argument(
+        "--decode-parallel", type=_parse_parallel, default=(2, 1), metavar="TPxPPy"
+    )
+    parser.add_argument("--node-gpus", type=int, default=8)
+    parser.add_argument("--arrivals", choices=("poisson", "bursty"), default="poisson")
+    parser.add_argument("--burstiness", type=float, default=2.0)
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WindServe reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--system", default="windserve", choices=SYSTEM_NAMES)
+    run_p.add_argument("--rate", type=float, required=True, help="per-GPU req/s")
+    _add_workload_args(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="sweep request rates across systems")
+    sweep_p.add_argument(
+        "--systems",
+        type=lambda s: [x.strip() for x in s.split(",")],
+        default=["windserve", "distserve", "vllm"],
+    )
+    sweep_p.add_argument(
+        "--rates",
+        type=lambda s: [float(x) for x in s.split(",")],
+        required=True,
+        help="comma-separated per-GPU rates",
+    )
+    _add_workload_args(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    place_p = sub.add_parser("placement", help="rank placements by simulation")
+    place_p.add_argument("--system", default="distserve", choices=SYSTEM_NAMES)
+    place_p.add_argument("--rate", type=float, required=True)
+    _add_workload_args(place_p)
+    place_p.set_defaults(func=cmd_placement)
+
+    breakdown_p = sub.add_parser(
+        "breakdown", help="per-stage latency decomposition + activity timeline"
+    )
+    breakdown_p.add_argument("--system", default="windserve", choices=SYSTEM_NAMES)
+    breakdown_p.add_argument("--rate", type=float, required=True)
+    _add_workload_args(breakdown_p)
+    breakdown_p.set_defaults(func=cmd_breakdown)
+
+    models_p = sub.add_parser("models", help="list known model architectures")
+    models_p.set_defaults(func=cmd_models)
+
+    datasets_p = sub.add_parser("datasets", help="list workload profiles")
+    datasets_p.set_defaults(func=cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    for system in getattr(args, "systems", []) or []:
+        if system not in SYSTEM_NAMES:
+            parser.error(f"unknown system {system!r}; known: {SYSTEM_NAMES}")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Reactive fleet autoscaling (paper §7 future work).
+
+"...the exploration of fine-grained and efficient autoscaling strategies.
+We will explore these practical issues in the future."
+
+This module explores the simplest credible strategy on top of
+:class:`~repro.core.fleet.ServingFleet`: keep a subset of the fleet's
+members *standby* (weights unloaded, GPUs reclaimable), watch the arriving
+load, and
+
+* **scale out** when the active members' in-flight load per member exceeds
+  a high watermark — paying a ``startup_delay`` (model loading, engine
+  warm-up) before the new member takes traffic;
+* **scale in** when load per member falls below a low watermark for a full
+  evaluation period — draining the member (it finishes what it has) before
+  standby.
+
+The interesting trade-off the bench measures: GPU-hours saved vs the SLO
+damage done by cold starts during ramps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.fleet import ServingFleet, _member_load
+from repro.serving.request import Request
+from repro.serving.system import ServingSystem
+
+
+@dataclass
+class AutoscalerConfig:
+    """Watermarks and timing of the reactive policy."""
+
+    min_active: int = 1
+    check_interval: float = 5.0
+    startup_delay: float = 30.0  # weight loading + engine warm-up
+    scale_out_load: float = 24.0  # in-flight requests per active member
+    scale_in_load: float = 4.0
+    scale_in_patience: int = 3  # consecutive low readings before scale-in
+
+
+@dataclass
+class ScalingEvent:
+    time: float
+    action: str  # "scale-out" | "scale-in" | "member-ready"
+    member: int
+    active_after: int = 0
+
+
+class AutoscalingFleet(ServingFleet):
+    """A fleet whose members can be parked as warm standby capacity."""
+
+    def __init__(
+        self,
+        members: Sequence[ServingSystem],
+        policy: str = "predicted-ttft",
+        autoscaler: AutoscalerConfig | None = None,
+        initially_active: int | None = None,
+    ) -> None:
+        super().__init__(members, policy=policy)
+        self.autoscaler = autoscaler or AutoscalerConfig()
+        if self.autoscaler.min_active < 1:
+            raise ValueError("min_active must be >= 1")
+        n_active = initially_active if initially_active is not None else len(members)
+        if not self.autoscaler.min_active <= n_active <= len(members):
+            raise ValueError("initially_active out of range")
+        self.active: list[bool] = [i < n_active for i in range(len(members))]
+        self._starting: set[int] = set()
+        self._low_streak = 0
+        self.events: list[ScalingEvent] = []
+        self.active_member_time = 0.0  # integral of active members over time
+        self._last_accounting = 0.0
+        self._heartbeat_scheduled = False
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def num_active(self) -> int:
+        return sum(self.active)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.active_member_time += self.num_active * (now - self._last_accounting)
+        self._last_accounting = now
+
+    def gpu_hours_used(self) -> float:
+        """Active GPU-seconds, counting each member's GPUs while active."""
+        self._account()
+        per_member = self.members[0].num_gpus
+        return self.active_member_time * per_member
+
+    # -- routing restricted to active members --------------------------------
+
+    def select_member(self, request: Request) -> int:
+        candidates = [
+            i for i, on in enumerate(self.active) if on and i not in self.failed
+        ]
+        if not candidates:
+            candidates = self.eligible_members()
+        if self.policy == "round-robin":
+            index = candidates[self._rr_next % len(candidates)]
+            self._rr_next += 1
+            return index
+        if self.policy == "least-loaded":
+            return min(candidates, key=lambda i: _member_load(self.members[i]))
+        from repro.core.fleet import _predicted_ttft
+
+        return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
+
+    def submit(self, request: Request) -> None:
+        self._ensure_heartbeat()
+        super().submit(request)
+
+    # -- the reactive loop ------------------------------------------------------
+
+    def _ensure_heartbeat(self) -> None:
+        if self._heartbeat_scheduled:
+            return
+        self._heartbeat_scheduled = True
+        self.sim.schedule(self.autoscaler.check_interval, self._heartbeat)
+
+    def _heartbeat(self) -> None:
+        self._heartbeat_scheduled = False
+        self._account()
+        cfg = self.autoscaler
+        active_members = [m for m, on in zip(self.members, self.active) if on]
+        in_flight = sum(_member_load(m) for m in active_members)
+        load = in_flight / max(1, self.num_active)
+
+        if load >= cfg.scale_out_load:
+            self._low_streak = 0
+            self._scale_out()
+        elif load <= cfg.scale_in_load:
+            self._low_streak += 1
+            if self._low_streak >= cfg.scale_in_patience:
+                self._low_streak = 0
+                self._scale_in()
+        else:
+            self._low_streak = 0
+
+        if in_flight > 0 or self.sim.pending_events > 1:
+            self._ensure_heartbeat()
+
+    def _scale_out(self) -> None:
+        for index, on in enumerate(self.active):
+            if not on and index not in self._starting:
+                self._starting.add(index)
+                self.events.append(
+                    ScalingEvent(self.sim.now, "scale-out", index, self.num_active)
+                )
+                self.sim.schedule(self.autoscaler.startup_delay, self._member_ready, index)
+                return
+
+    def _member_ready(self, index: int) -> None:
+        self._account()
+        self._starting.discard(index)
+        self.active[index] = True
+        self.events.append(
+            ScalingEvent(self.sim.now, "member-ready", index, self.num_active)
+        )
+
+    def _scale_in(self) -> None:
+        if self.num_active <= self.autoscaler.min_active:
+            return
+        # Park the least-loaded active member; it drains what it has.
+        candidates = [i for i, on in enumerate(self.active) if on]
+        victim = min(candidates, key=lambda i: _member_load(self.members[i]))
+        self._account()
+        self.active[victim] = False
+        self.events.append(ScalingEvent(self.sim.now, "scale-in", victim, self.num_active))

@@ -1,0 +1,218 @@
+"""Fleet serving: load balancing across serving systems (paper §7).
+
+"There are still many pressing issues to be addressed in large-scale
+deployment, such as load balancing across instances" — this module scales
+WindServe (or any serving system) out to several independent prefill/decode
+pairs on a shared cluster, with a pluggable request router:
+
+* ``round-robin`` — classic stateless spreading;
+* ``least-loaded`` — joins the member with the fewest queued+running
+  requests;
+* ``predicted-ttft`` — asks each WindServe member's Profiler what the new
+  request's TTFT would be and joins the cheapest (the Global Scheduler's
+  prediction machinery reused as a cluster-level balancer).
+
+All members share one simulator and one cluster topology, so their KV
+transfers and swaps contend on real links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.config import WindServeConfig
+from repro.core.windserve import WindServeSystem
+from repro.hardware.cluster import ClusterTopology
+from repro.models.parallelism import ParallelConfig
+from repro.serving.metrics import MetricsCollector
+from repro.serving.placement import Placement
+from repro.serving.request import Request
+from repro.serving.system import ServingSystem, SystemConfig
+from repro.sim.engine import Simulator
+
+ROUTER_POLICIES = ("round-robin", "least-loaded", "predicted-ttft")
+
+
+def _member_load(member: ServingSystem) -> int:
+    load = member.submitted - len(member.metrics.completed)
+    return load
+
+
+def _predicted_ttft(member: ServingSystem, request: Request) -> float:
+    if isinstance(member, WindServeSystem):
+        return member.coordinator.predict_ttft(request)
+    # Fallback proxy for non-WindServe members.
+    return float(_member_load(member))
+
+
+class ServingFleet:
+    """A router plus several serving systems sharing one simulator."""
+
+    def __init__(self, members: Sequence[ServingSystem], policy: str = "predicted-ttft") -> None:
+        if not members:
+            raise ValueError("a fleet needs at least one member")
+        if policy not in ROUTER_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {ROUTER_POLICIES}")
+        sims = {id(m.sim) for m in members}
+        if len(sims) != 1:
+            raise ValueError("all fleet members must share one simulator")
+        self.members = list(members)
+        self.policy = policy
+        self.sim: Simulator = members[0].sim
+        self._rr_next = 0
+        self.routed: list[int] = [0] * len(members)
+        self.failed: set[int] = set()
+        self._assignments: dict[int, list[Request]] = {i: [] for i in range(len(members))}
+        self.retried = 0
+
+    # -- routing -------------------------------------------------------------
+
+    def eligible_members(self) -> list[int]:
+        alive = [i for i in range(len(self.members)) if i not in self.failed]
+        if not alive:
+            raise RuntimeError("every fleet member has failed")
+        return alive
+
+    def select_member(self, request: Request) -> int:
+        candidates = self.eligible_members()
+        if self.policy == "round-robin":
+            index = candidates[self._rr_next % len(candidates)]
+            self._rr_next += 1
+            return index
+        if self.policy == "least-loaded":
+            return min(candidates, key=lambda i: _member_load(self.members[i]))
+        return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
+
+    def submit(self, request: Request) -> None:
+        index = self.select_member(request)
+        self.routed[index] += 1
+        self._assignments[index].append(request)
+        member = self.members[index]
+        member.submitted += 1
+        member.submit(request)
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail_member(self, index: int) -> int:
+        """Kill one member (node failure) and retry its in-flight requests.
+
+        Every request assigned to the member that has not finished is reset
+        (all server-side progress lost; arrival time preserved) and
+        resubmitted to the surviving members.  Returns the retry count.
+        """
+        if not 0 <= index < len(self.members):
+            raise ValueError(f"no member {index}")
+        if index in self.failed:
+            return 0
+        if len(self.failed) + 1 >= len(self.members):
+            raise RuntimeError("every fleet member would have failed")
+        self.failed.add(index)
+        self.members[index].halt()
+        lost = [r for r in self._assignments[index] if not r.finished]
+        self._assignments[index] = []
+        for request in lost:
+            request.reset_for_retry()
+            self.retried += 1
+            self.submit(request)
+        return len(lost)
+
+    # -- running ----------------------------------------------------------------
+
+    def load_workload(self, requests: Iterable[Request]) -> int:
+        n = 0
+        for request in requests:
+            self.sim.call_at(request.arrival_time, self.submit, request)
+            n += 1
+        return n
+
+    def run_to_completion(self, requests: Iterable[Request]) -> MetricsCollector:
+        self.load_workload(requests)
+        self.sim.run_until_idle()
+        return self.merged_metrics()
+
+    def merged_metrics(self) -> MetricsCollector:
+        """One collector aggregating every member's results."""
+        merged = MetricsCollector()
+        horizon = 0.0
+        for member in self.members:
+            merged.completed.extend(member.metrics.completed)
+            merged.counters.update(member.metrics.counters)
+            for name, sample in member.metrics.utilization.items():
+                merged.utilization[f"{member.name}:{name}"] = sample
+            horizon = max(horizon, member.metrics.horizon, member.sim.now)
+        merged.horizon = horizon
+        return merged
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(m.num_gpus for m in self.members)
+
+
+def build_windserve_fleet(
+    config: SystemConfig,
+    cluster: ClusterTopology,
+    prefill_parallel: ParallelConfig = ParallelConfig(tp=2),
+    decode_parallel: ParallelConfig = ParallelConfig(tp=2),
+    pairs_per_node: int = 2,
+    policy: str = "predicted-ttft",
+    ws_config: Optional[WindServeConfig] = None,
+    system_factory: Optional[Callable[..., ServingSystem]] = None,
+) -> ServingFleet:
+    """Place one WindServe prefill/decode pair per slot across a cluster.
+
+    Each node hosts ``pairs_per_node`` independent pairs; all pairs share
+    the cluster's simulator and links.  ``system_factory`` swaps in a
+    different member system type (e.g. ``DistServeSystem``) for
+    comparisons.
+    """
+    sim = Simulator()
+    members: list[ServingSystem] = []
+    gpus_needed = prefill_parallel.num_gpus + decode_parallel.num_gpus
+    factory = system_factory or WindServeSystem
+
+    def _group_link_gbps(group: tuple[int, ...]) -> float:
+        worst = float("inf")
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                path = cluster.path(group[i], group[j])
+                worst = min(worst, path.bottleneck_bytes_per_s / 1024**3)
+        return worst
+
+    def _with_link(cfg: ParallelConfig, group: tuple[int, ...]) -> ParallelConfig:
+        if cfg.tp == 1:
+            return cfg
+        return ParallelConfig(
+            tp=cfg.tp,
+            pp=cfg.pp,
+            tp_link_gbps=_group_link_gbps(group),
+            tp_efficiency=cfg.tp_efficiency,
+        )
+
+    for node in range(cluster.num_nodes):
+        node_start = node * cluster.gpus_per_node
+        for pair in range(pairs_per_node):
+            start = node_start + pair * gpus_needed
+            if start + gpus_needed > node_start + cluster.gpus_per_node:
+                raise ValueError(
+                    f"node {node} cannot host {pairs_per_node} pairs of "
+                    f"{gpus_needed} GPUs"
+                )
+            prefill_gpus = tuple(range(start, start + prefill_parallel.num_gpus))
+            decode_gpus = tuple(
+                range(start + prefill_parallel.num_gpus, start + gpus_needed)
+            )
+            placement = Placement(
+                prefill_gpus=prefill_gpus,
+                decode_gpus=decode_gpus,
+                prefill_parallel=_with_link(prefill_parallel, prefill_gpus),
+                decode_parallel=_with_link(decode_parallel, decode_gpus),
+            )
+            kwargs = {}
+            if factory is WindServeSystem:
+                kwargs["ws_config"] = ws_config
+            member = factory(
+                config, placement=placement, topology=cluster, sim=sim, **kwargs
+            )
+            member.name = f"{getattr(factory, 'name', 'member')}-{node}.{pair}"
+            members.append(member)
+    return ServingFleet(members, policy=policy)

@@ -1,0 +1,240 @@
+"""WindServe: the assembled system.
+
+Wires the Global Scheduler (Profiler + Coordinator), the WindServe prefill
+and decode instances, asynchronous layer-overlapped KV hand-off, KV
+backups, and the stall-free migration manager into one serving system with
+the same outer interface as the baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.config import WindServeConfig
+from repro.core.coordinator import Coordinator, Route
+from repro.core.instances import WindServeDecodeInstance, WindServePrefillInstance
+from repro.core.profiler import Profiler
+from repro.core.rescheduling import MigrationManager
+from repro.models.parallelism import ParallelConfig
+from repro.serving.placement import Placement, plan_pd_placement
+from repro.serving.request import Phase, Request
+from repro.serving.system import ServingSystem, SystemConfig
+
+# Assist budget used when no TPOT SLO is configured to derive one from.
+DEFAULT_ASSIST_BUDGET_TOKENS = 2048
+
+
+class WindServeSystem(ServingSystem):
+    """Phase-disaggregated serving with stream-based dynamic scheduling."""
+
+    name = "windserve"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        ws_config: Optional[WindServeConfig] = None,
+        placement: Optional[Placement] = None,
+        topology=None,
+        sim=None,
+        prefill_gpu=None,
+        decode_gpu=None,
+    ) -> None:
+        super().__init__(config, topology, sim)
+        self.ws_config = ws_config or WindServeConfig()
+        if placement is None:
+            placement = plan_pd_placement(
+                self.topology, ParallelConfig(tp=2), ParallelConfig(tp=2)
+            )
+        self.placement = placement
+        self.prefill_instance = self.register(
+            WindServePrefillInstance(
+                "prefill",
+                self.sim,
+                config.model,
+                prefill_gpu or config.gpu,
+                placement.prefill_parallel,
+                placement.prefill_gpus,
+                self.metrics,
+                self.transfers,
+                config.instance,
+                trace=self.trace,
+            )
+        )
+        self.decode_instance = self.register(
+            WindServeDecodeInstance(
+                "decode",
+                self.sim,
+                config.model,
+                decode_gpu or config.gpu,
+                placement.decode_parallel,
+                placement.decode_gpus,
+                self.metrics,
+                self.transfers,
+                config.decode_instance_config,
+                trace=self.trace,
+            )
+        )
+        self.prefill_profiler = Profiler(self.prefill_instance.latency)
+        self.decode_profiler = Profiler(self.decode_instance.latency)
+        self.assist_budget_tokens = self._derive_assist_budget()
+        self.coordinator = Coordinator(self)
+        self.migrations = MigrationManager(self)
+        self.backups: dict[int, int] = {}
+        self._handoff: deque[Request] = deque()
+
+    def _derive_assist_budget(self) -> int:
+        cfg = self.ws_config
+        if cfg.assist_budget_tokens is not None:
+            return cfg.assist_budget_tokens
+        slo = self.config.slo
+        if slo is None:
+            return DEFAULT_ASSIST_BUDGET_TOKENS
+        return self.decode_profiler.find_assist_budget(
+            self.decode_instance.contention,
+            slo.tpot,
+            reference_batch=16,
+            reference_context=self.config.model.max_context // 2,
+        )
+
+    # -- routing (Algorithm 1) ----------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        route = self.coordinator.route_new_request(request)
+        if route is Route.ASSIST:
+            # KV for the dispatched prefill is written directly into the
+            # decode instance — no hand-off transfer later.
+            self.decode_instance.kv.allocate(request.request_id, request.prompt_tokens + 1)
+            self.decode_instance.assist.submit(request)
+        else:
+            self.prefill_instance.enqueue(request)
+
+    # -- asynchronous KV hand-off ----------------------------------------------
+
+    def prepare_async_handoff(self, request: Request) -> bool:
+        """Start the prefill->decode KV copy overlapped with the prefill pass.
+
+        Returns True when the transfer was launched (decode KV reserved);
+        False falls back to the post-prefill blocking hand-off.
+        """
+        if not self.ws_config.async_transfer:
+            return False
+        needed = request.prompt_tokens + 1
+        if not self.decode_instance.kv.can_allocate(needed):
+            self.metrics.bump("async_handoff_unavailable")
+            return False
+        self.decode_instance.kv.allocate(request.request_id, needed)
+        nbytes = int(request.prompt_tokens * self.config.model.kv_bytes_per_token)
+        job = self.transfers.transfer(
+            nbytes,
+            list(self.prefill_instance.gpus),
+            list(self.decode_instance.gpus),
+            kind="kv-async",
+            request_id=request.request_id,
+        )
+        # The last layer's KV can only ship after the pass finishes.
+        residual = self._residual_transfer_time(nbytes)
+        request.extra["handoff_ready"] = job.finish + residual
+        self.metrics.bump("async_handoff")
+        return True
+
+    def _residual_transfer_time(self, nbytes: int) -> float:
+        per_layer = max(1, nbytes // self.config.model.num_layers)
+        return self.transfers.estimate_duration(
+            per_layer,
+            list(self.prefill_instance.gpus),
+            list(self.decode_instance.gpus),
+        )
+
+    def complete_handoff(self, request: Request) -> None:
+        """Called when a request's prefill finishes on the prefill instance."""
+        ready = request.extra.pop("handoff_ready", None)
+        request.phase = Phase.TRANSFERRING
+        if ready is None:
+            self._handoff.append(request)
+            self.pump_handoffs()
+            return
+        at = max(self.sim.now, ready)
+        self.sim.call_at(at, self._handoff_arrive, request)
+
+    def pump_handoffs(self) -> None:
+        """Post-prefill (fallback) transfers, DistServe-style serialization."""
+        if self.halted:
+            return
+        decode = self.decode_instance
+        while self._handoff:
+            request = self._handoff[0]
+            if not decode.kv.can_allocate(request.context_tokens):
+                self.metrics.bump("handoff_blocked")
+                break
+            self._handoff.popleft()
+            decode.kv.allocate(request.request_id, request.context_tokens)
+            nbytes = int(request.prompt_tokens * self.config.model.kv_bytes_per_token)
+            self.transfers.transfer(
+                nbytes,
+                list(self.prefill_instance.gpus),
+                list(decode.gpus),
+                on_complete=lambda job, r=request: self._handoff_arrive(r),
+                kind="kv-handoff",
+                request_id=request.request_id,
+            )
+
+    def _handoff_arrive(self, request: Request) -> None:
+        if self.halted:
+            return
+        self._finish_prefill_side(request)
+        request.phase = Phase.WAITING_DECODE
+        self.decode_instance.enqueue(request)
+
+    # -- KV backups (§3.3) -----------------------------------------------------
+
+    def _finish_prefill_side(self, request: Request) -> None:
+        """Free the prefill instance's copy of the KV, or retain it as backup."""
+        cfg = self.ws_config
+        prefill, decode = self.prefill_instance, self.decode_instance
+        keep = (
+            cfg.backup_enabled
+            and request.prompt_tokens >= cfg.backup_min_prompt_tokens
+            and prefill.kv.gpu_capacity_blocks > 0
+            and prefill.kv.free_gpu_blocks / prefill.kv.gpu_capacity_blocks
+            > cfg.backup_prefill_free_frac
+            and decode.kv.free_gpu_blocks / max(1, decode.kv.gpu_capacity_blocks)
+            < cfg.backup_decode_pressure_frac
+        )
+        if keep:
+            self.backups[request.request_id] = request.prompt_tokens
+            self.metrics.bump("backup_kept")
+        else:
+            prefill.kv.free(request.request_id)
+        prefill.kick()
+
+    def backup_tokens(self, request: Request) -> int:
+        return self.backups.get(request.request_id, 0)
+
+    def consume_backup(self, request: Request) -> None:
+        self.backups.pop(request.request_id, None)
+
+    def evict_backups(self, tokens_needed: int) -> None:
+        """Drop backups (oldest first) until ``tokens_needed`` KV fits."""
+        prefill = self.prefill_instance
+        for request_id in list(self.backups):
+            if prefill.kv.can_allocate(tokens_needed):
+                return
+            del self.backups[request_id]
+            prefill.kv.free(request_id)
+            self.metrics.bump("backup_evicted")
+
+    # -- rescheduling -------------------------------------------------------------
+
+    def maybe_reschedule(self) -> None:
+        if self.halted:
+            return
+        self.migrations.maybe_reschedule()
+
+    # -- events ---------------------------------------------------------------------
+
+    def on_request_finished(self, request: Request, instance) -> None:
+        if request.request_id in self.backups:
+            del self.backups[request.request_id]
+            self.prefill_instance.kv.free(request.request_id)
+        self.pump_handoffs()

@@ -1,0 +1,29 @@
+"""Hardware model: GPUs, memory pools, interconnect links, node topology.
+
+Mirrors the paper's testbed (Fig. 9): a node of 8 NVIDIA A800-80GB GPUs, with
+GPU pairs joined by NVLink bridges, PCIe Gen4 switches within each NUMA node,
+and the Root Complex between NUMA nodes.
+"""
+
+from repro.hardware.gpu import GPUSpec, A800_80GB, A100_80GB, H100_80GB, RTX_4090, GPU_REGISTRY
+from repro.hardware.memory import MemoryPool, OutOfMemoryError
+from repro.hardware.interconnect import Link, LinkType, TransferReservation
+from repro.hardware.topology import NodeTopology, Path
+from repro.hardware.cluster import ClusterTopology
+
+__all__ = [
+    "ClusterTopology",
+    "GPUSpec",
+    "A800_80GB",
+    "A100_80GB",
+    "H100_80GB",
+    "RTX_4090",
+    "GPU_REGISTRY",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "Link",
+    "LinkType",
+    "TransferReservation",
+    "NodeTopology",
+    "Path",
+]

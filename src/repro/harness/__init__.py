@@ -1,0 +1,39 @@
+"""Experiment harness: SLO derivation, system builders, rate sweeps, reports."""
+
+from repro.harness.slo import PAPER_SLOS, derive_slo, paper_slo
+from repro.harness.runner import (
+    ExperimentResult,
+    ExperimentSpec,
+    build_system,
+    run_experiment,
+    sweep_rates,
+)
+from repro.harness.report import format_table
+from repro.harness.placement_search import search_placement
+from repro.harness.timeline import TimelineReport, render_timeline, sparkline
+from repro.harness.capacity import CapacityResult, find_capacity
+from repro.harness.comparison import Comparison, compare_systems
+from repro.harness.breakdown import aggregate_breakdown, breakdown_rows, render_breakdown
+
+__all__ = [
+    "PAPER_SLOS",
+    "derive_slo",
+    "paper_slo",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "build_system",
+    "run_experiment",
+    "sweep_rates",
+    "format_table",
+    "search_placement",
+    "TimelineReport",
+    "render_timeline",
+    "sparkline",
+    "CapacityResult",
+    "find_capacity",
+    "Comparison",
+    "compare_systems",
+    "aggregate_breakdown",
+    "breakdown_rows",
+    "render_breakdown",
+]

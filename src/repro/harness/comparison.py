@@ -1,0 +1,65 @@
+"""Side-by-side system comparison at one operating point.
+
+Produces the paper-style "WindServe improves TTFT median by X×" numbers:
+run several systems on the identical workload, report each metric, and
+compute improvement ratios against a chosen baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.harness.runner import ExperimentSpec, run_experiment
+
+RATIO_METRICS = ("ttft_p50", "ttft_p99", "tpot_p90", "tpot_p99")
+
+
+@dataclass
+class Comparison:
+    """Results of running one spec across several systems."""
+
+    spec: ExperimentSpec
+    summaries: dict[str, dict] = field(default_factory=dict)
+
+    def ratio(self, metric: str, system: str, baseline: str) -> float:
+        """How many times better ``system`` is than ``baseline`` on a
+        lower-is-better metric (>1 means ``system`` wins)."""
+        over = self.summaries[baseline][metric]
+        under = self.summaries[system][metric]
+        if under == 0:
+            return float("inf")
+        return over / under
+
+    def improvement_row(self, system: str, baseline: str) -> dict:
+        row = {"system": system, "baseline": baseline}
+        for metric in RATIO_METRICS:
+            row[f"{metric} ratio"] = self.ratio(metric, system, baseline)
+        row["slo delta"] = (
+            self.summaries[system]["slo_attainment"]
+            - self.summaries[baseline]["slo_attainment"]
+        )
+        return row
+
+    def rows(self) -> list[dict]:
+        out = []
+        for system, summary in self.summaries.items():
+            row = {"system": system}
+            row.update(
+                {k: summary[k] for k in RATIO_METRICS + ("slo_attainment", "swap_events")}
+            )
+            out.append(row)
+        return out
+
+
+def compare_systems(
+    spec: ExperimentSpec, systems: Sequence[str] = ("windserve", "distserve", "vllm")
+) -> Comparison:
+    """Run the same workload through several systems."""
+    if not systems:
+        raise ValueError("need at least one system")
+    comparison = Comparison(spec=spec)
+    for system in systems:
+        result = run_experiment(spec.with_system(system))
+        comparison.summaries[system] = result.summary
+    return comparison

@@ -1,0 +1,113 @@
+"""Text timelines: see where a run's time went without leaving the terminal.
+
+Renders per-instance busy-fraction sparklines and scheduler-event tracks
+from a run's :class:`~repro.sim.trace.TraceLog` (enable with
+``SystemConfig(trace_enabled=True)``)::
+
+    prefill  ▃▅████▇▆▅▅▆▇█▇▆▅▃▂  busy 72%
+    decode   ▂▃▄▅▅▆▆▆▇▇▇▇▆▆▅▄▃▂  busy 58%
+    events   dispatch x41  reschedule x7  swap x0
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.serving.system import ServingSystem
+from repro.sim.trace import TraceLog
+
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+# Trace tags worth surfacing on the event track.
+EVENT_TAGS = {
+    "assist-start": "dispatch",
+    "migration-start": "reschedule",
+    "swap-out": "swap",
+    "recompute-preempt": "recompute",
+    "replan-start": "replan",
+}
+
+
+def sparkline(values: list[float], levels: str = SPARK_LEVELS) -> str:
+    """Render 0..1 values as a unicode sparkline."""
+    out = []
+    top = len(levels) - 1
+    for v in values:
+        v = min(1.0, max(0.0, v))
+        out.append(levels[round(v * top)])
+    return "".join(out)
+
+
+def busy_fractions(
+    trace: TraceLog, component: str, horizon: float, bins: int = 60
+) -> list[float]:
+    """Fraction of each time bin the component spent executing batches."""
+    if horizon <= 0 or bins < 1:
+        raise ValueError("horizon and bins must be positive")
+    bin_width = horizon / bins
+    busy = [0.0] * bins
+    for record in trace.filter(tag="batch-start", component=component):
+        start = record.time
+        end = min(horizon, start + record.payload.get("duration", 0.0))
+        b = int(start / bin_width)
+        while b < bins and start < end:
+            bin_end = (b + 1) * bin_width
+            busy[b] += min(end, bin_end) - start
+            start = bin_end
+            b += 1
+    return [min(1.0, b / bin_width) for b in busy]
+
+
+@dataclass
+class TimelineReport:
+    """Rendered timeline plus the numbers behind it."""
+
+    lines: list[str]
+    busy: dict[str, list[float]]
+    events: Counter
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines)
+
+
+def render_timeline(
+    system: ServingSystem, bins: int = 60, horizon: float | None = None
+) -> TimelineReport:
+    """Build a timeline report for a system run with tracing enabled."""
+    trace = system.trace
+    if not trace.enabled and len(trace) == 0:
+        raise ValueError(
+            "no trace records: construct the system with "
+            "SystemConfig(trace_enabled=True)"
+        )
+    horizon = horizon or max((r.time for r in trace), default=0.0)
+    if horizon <= 0:
+        raise ValueError("nothing recorded before the horizon")
+
+    components = sorted(
+        {r.component for r in trace.filter(tag="batch-start")},
+    )
+    busy: dict[str, list[float]] = {}
+    lines = [f"timeline over {horizon:.1f}s ({bins} bins)"]
+    width = max((len(c) for c in components), default=8)
+    for component in components:
+        fractions = busy_fractions(trace, component, horizon, bins)
+        busy[component] = fractions
+        mean_busy = sum(fractions) / len(fractions)
+        lines.append(
+            f"{component.ljust(width)}  {sparkline(fractions)}  busy {mean_busy * 100:.0f}%"
+        )
+
+    events: Counter = Counter()
+    for record in trace:
+        label = EVENT_TAGS.get(record.tag)
+        if label:
+            events[label] += 1
+    if events:
+        lines.append(
+            "events".ljust(width)
+            + "  "
+            + "  ".join(f"{name} x{count}" for name, count in sorted(events.items()))
+        )
+    return TimelineReport(lines=lines, busy=busy, events=events)

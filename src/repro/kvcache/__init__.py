@@ -1,0 +1,12 @@
+"""Paged KV-cache management: block manager, CPU swap pool, transfer engine."""
+
+from repro.kvcache.blocks import BlockLocation, KVAllocation, KVBlockManager
+from repro.kvcache.transfer import KVTransferEngine, TransferJob
+
+__all__ = [
+    "BlockLocation",
+    "KVAllocation",
+    "KVBlockManager",
+    "KVTransferEngine",
+    "TransferJob",
+]

@@ -1,0 +1,160 @@
+"""KV-cache transfer engine.
+
+Moves KV bytes between serving instances (prefill -> decode hand-off,
+rescheduling migrations) and between a GPU and host DRAM (swapping).  KV is
+sharded across an instance's GPUs, so an instance-to-instance copy is a set
+of pairwise GPU copies; completion is when the slowest pair drains.
+
+Transfers reserve link bandwidth through the topology's FIFO links, so bulk
+KV movement, swap traffic, and migrations all contend for the same PCIe
+switches — the contention at the heart of the paper's Fig. 1 motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hardware.topology import NodeTopology
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class TransferJob:
+    """One in-flight KV transfer."""
+
+    job_id: int
+    nbytes: int
+    src_gpus: tuple[int, ...]
+    dst_gpus: tuple[int, ...]
+    start: float
+    finish: float
+    kind: str = "kv"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class KVTransferEngine:
+    """Schedules KV copies over the node topology."""
+
+    def __init__(self, sim: Simulator, topology: NodeTopology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._next_id = 0
+        self.completed: list[TransferJob] = []
+        self.bytes_moved = 0
+
+    # -- planning ---------------------------------------------------------
+
+    def estimate_duration(
+        self, nbytes: int, src_gpus: list[int], dst_gpus: list[int]
+    ) -> float:
+        """Unqueued wire time for an instance-to-instance copy of ``nbytes``."""
+        pairs = self._pairs(src_gpus, dst_gpus)
+        per_pair = nbytes / len(pairs)
+        return max(
+            self.topology.path(s, d).transfer_duration(int(per_pair)) for s, d in pairs
+        )
+
+    # -- instance-to-instance ------------------------------------------------
+
+    def transfer(
+        self,
+        nbytes: int,
+        src_gpus: list[int],
+        dst_gpus: list[int],
+        on_complete: Optional[Callable[[TransferJob], None]] = None,
+        kind: str = "kv",
+        **meta,
+    ) -> TransferJob:
+        """Copy ``nbytes`` of sharded KV from one instance's GPUs to another's.
+
+        Bytes split evenly over GPU pairs; each pair's copy queues FIFO on its
+        link path.  ``on_complete`` fires when the slowest pair finishes.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        pairs = self._pairs(src_gpus, dst_gpus)
+        per_pair = int(nbytes / len(pairs)) if nbytes else 0
+        now = self.sim.now
+        finish = now
+        start = None
+        for s, d in pairs:
+            res = self.topology.path(s, d).reserve(now, per_pair)
+            finish = max(finish, res.finish)
+            start = res.start if start is None else min(start, res.start)
+        job = self._make_job(nbytes, tuple(src_gpus), tuple(dst_gpus), start or now, finish, kind, meta)
+        self._finalize(job, on_complete)
+        return job
+
+    # -- GPU <-> host (swap) ----------------------------------------------------
+
+    def swap(
+        self,
+        nbytes: int,
+        gpus: list[int],
+        on_complete: Optional[Callable[[TransferJob], None]] = None,
+        kind: str = "swap",
+        **meta,
+    ) -> TransferJob:
+        """Copy ``nbytes`` between an instance's GPUs and host DRAM."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if not gpus:
+            raise ValueError("need at least one GPU")
+        per_gpu = int(nbytes / len(gpus)) if nbytes else 0
+        now = self.sim.now
+        finish = now
+        start = None
+        for g in gpus:
+            res = self.topology.host_path(g).reserve(now, per_gpu)
+            finish = max(finish, res.finish)
+            start = res.start if start is None else min(start, res.start)
+        job = self._make_job(nbytes, tuple(gpus), ("host",), start or now, finish, kind, meta)  # type: ignore[arg-type]
+        self._finalize(job, on_complete)
+        return job
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _pairs(src_gpus: list[int], dst_gpus: list[int]) -> list[tuple[int, int]]:
+        if not src_gpus or not dst_gpus:
+            raise ValueError("source and destination instances need GPUs")
+        n = max(len(src_gpus), len(dst_gpus))
+        return [(src_gpus[i % len(src_gpus)], dst_gpus[i % len(dst_gpus)]) for i in range(n)]
+
+    def _make_job(
+        self,
+        nbytes: int,
+        src: tuple,
+        dst: tuple,
+        start: float,
+        finish: float,
+        kind: str,
+        meta: dict,
+    ) -> TransferJob:
+        job = TransferJob(
+            job_id=self._next_id,
+            nbytes=nbytes,
+            src_gpus=src,
+            dst_gpus=dst,
+            start=start,
+            finish=finish,
+            kind=kind,
+            meta=meta,
+        )
+        self._next_id += 1
+        return job
+
+    def _finalize(self, job: TransferJob, on_complete) -> None:
+        self.bytes_moved += job.nbytes
+
+        def _done() -> None:
+            self.completed.append(job)
+            if on_complete is not None:
+                on_complete(job)
+
+        self.sim.call_at(job.finish, _done)

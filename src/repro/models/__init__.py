@@ -1,0 +1,49 @@
+"""Model architecture specs, cost formulas (paper Table 1), and parallelism maths."""
+
+from repro.models.spec import ModelSpec
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    get_model,
+    OPT_13B,
+    OPT_66B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+)
+from repro.models.costs import (
+    attn_flops_prefill,
+    attn_flops_decode,
+    ffn_flops_prefill,
+    ffn_flops_decode,
+    layer_flops_prefill,
+    layer_flops_decode,
+    layer_io_bytes_prefill,
+    layer_io_bytes_decode,
+    model_flops_prefill,
+    model_flops_decode,
+    model_io_bytes_prefill,
+    model_io_bytes_decode,
+)
+from repro.models.parallelism import ParallelConfig
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "get_model",
+    "OPT_13B",
+    "OPT_66B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "attn_flops_prefill",
+    "attn_flops_decode",
+    "ffn_flops_prefill",
+    "ffn_flops_decode",
+    "layer_flops_prefill",
+    "layer_flops_decode",
+    "layer_io_bytes_prefill",
+    "layer_io_bytes_decode",
+    "model_flops_prefill",
+    "model_flops_decode",
+    "model_io_bytes_prefill",
+    "model_io_bytes_decode",
+    "ParallelConfig",
+]

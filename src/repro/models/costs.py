@@ -1,0 +1,177 @@
+"""FLOPs and IO-byte cost formulas (paper Table 1, generalised).
+
+Table 1 gives per-layer costs for the OPT family (MHA, ``ffn_dim = 4H``):
+
+===========  =====================  =====================
+module       prefill FLOPs          decode FLOPs
+===========  =====================  =====================
+Attention    ``8NH^2 + 4N^2H``      ``8BH^2 + 4(sum L)H``
+FFN          ``16NH^2``             ``16BH^2``
+===========  =====================  =====================
+
+with ``N`` prefill tokens, ``B`` decode batch size, ``sum L`` the summed
+context lengths.  The functions below generalise to GQA (fewer KV-projection
+FLOPs, smaller KV reads) and SwiGLU FFNs, and reduce exactly to Table 1 for
+OPT specs — `tests/models/test_costs.py` asserts that reduction.
+
+IO bytes follow the paper's analysis: decode streams every weight byte plus
+the whole KV cache per iteration (``24H^2`` weights + ``4(sum L)H`` KV for
+OPT per layer); prefill IO is dominated by weights and the freshly written
+KV.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import ModelSpec
+
+
+# --------------------------------------------------------------------------
+# Per-layer FLOPs
+# --------------------------------------------------------------------------
+
+
+def attn_flops_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    """Attention FLOPs for a prefill of ``num_tokens`` in one layer.
+
+    Projections: ``2 * N * attn_params`` (one multiply-add per weight per
+    token).  Score/value computation: ``4 N^2 H`` (QK^T and PV, each
+    ``2 N^2 H``).  For MHA the projection term is ``8NH^2``, matching
+    Table 1.
+    """
+    n, h = num_tokens, spec.hidden_size
+    proj = 2 * n * spec.attn_params_per_layer
+    score = 4 * n * n * h
+    return float(proj + score)
+
+
+def attn_flops_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    """Attention FLOPs for one decode iteration of ``batch_size`` requests.
+
+    Each request attends over its full context; ``sum_context`` is the sum of
+    context lengths in the batch (the paper's ``sum L``).
+    """
+    b, h = batch_size, spec.hidden_size
+    proj = 2 * b * spec.attn_params_per_layer
+    score = 4 * sum_context * h
+    return float(proj + score)
+
+
+def ffn_flops_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    """FFN FLOPs for a prefill of ``num_tokens`` in one layer (``16NH^2`` for OPT)."""
+    return float(2 * num_tokens * spec.ffn_params_per_layer)
+
+
+def ffn_flops_decode(spec: ModelSpec, batch_size: int) -> float:
+    """FFN FLOPs for one decode iteration (``16BH^2`` for OPT)."""
+    return float(2 * batch_size * spec.ffn_params_per_layer)
+
+
+def layer_flops_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    return attn_flops_prefill(spec, num_tokens) + ffn_flops_prefill(spec, num_tokens)
+
+
+def layer_flops_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    return attn_flops_decode(spec, batch_size, sum_context) + ffn_flops_decode(
+        spec, batch_size
+    )
+
+
+# --------------------------------------------------------------------------
+# Per-layer IO bytes
+# --------------------------------------------------------------------------
+
+
+def layer_io_bytes_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    """HBM traffic for a prefill of ``num_tokens`` in one layer.
+
+    Weights stream once per pass; activations are read/written a handful of
+    times; the new KV entries are written out.
+    """
+    weights = spec.weight_bytes_per_layer
+    activations = 8 * num_tokens * spec.hidden_size * spec.dtype_bytes
+    kv_write = num_tokens * spec.kv_bytes_per_token_per_layer
+    return float(weights + activations + kv_write)
+
+
+def layer_io_bytes_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    """HBM traffic for one decode iteration in one layer.
+
+    Dominated by streaming the layer weights and reading the whole KV cache
+    (the paper's ``24H^2 + 4 (sum L) H`` for OPT in elements; we work in
+    bytes).
+    """
+    weights = spec.weight_bytes_per_layer
+    kv_read = sum_context * spec.kv_bytes_per_token_per_layer
+    kv_write = batch_size * spec.kv_bytes_per_token_per_layer
+    activations = 8 * batch_size * spec.hidden_size * spec.dtype_bytes
+    return float(weights + kv_read + kv_write + activations)
+
+
+# --------------------------------------------------------------------------
+# Incremental prefill (chunked prefill over prior context)
+# --------------------------------------------------------------------------
+
+
+def layer_flops_prefill_extend(spec: ModelSpec, new_tokens: int, prior_context: int) -> float:
+    """FLOPs to prefill ``new_tokens`` that attend over ``prior_context``
+    already-cached tokens (one chunk of a chunked prefill)."""
+    n, h = new_tokens, spec.hidden_size
+    proj = 2 * n * spec.attn_params_per_layer
+    score = 4 * n * (prior_context + n) * h
+    ffn = 2 * n * spec.ffn_params_per_layer
+    return float(proj + score + ffn)
+
+
+def layer_io_bytes_prefill_extend(
+    spec: ModelSpec, new_tokens: int, prior_context: int
+) -> float:
+    """HBM traffic for one chunk: weights stream again, the prior chunks' KV
+    is re-read, and the new KV is written — the re-streaming that makes
+    chunked prefill expensive."""
+    weights = spec.weight_bytes_per_layer
+    kv_read = prior_context * spec.kv_bytes_per_token_per_layer
+    kv_write = new_tokens * spec.kv_bytes_per_token_per_layer
+    activations = 8 * new_tokens * spec.hidden_size * spec.dtype_bytes
+    return float(weights + kv_read + kv_write + activations)
+
+
+def model_flops_prefill_extend(spec: ModelSpec, new_tokens: int, prior_context: int) -> float:
+    lm_head = 2 * spec.hidden_size * spec.vocab_size
+    return spec.num_layers * layer_flops_prefill_extend(spec, new_tokens, prior_context) + lm_head
+
+
+def model_io_bytes_prefill_extend(
+    spec: ModelSpec, new_tokens: int, prior_context: int
+) -> float:
+    lm_head = spec.vocab_size * spec.hidden_size * spec.dtype_bytes
+    return (
+        spec.num_layers * layer_io_bytes_prefill_extend(spec, new_tokens, prior_context)
+        + lm_head
+    )
+
+
+# --------------------------------------------------------------------------
+# Whole-model aggregates
+# --------------------------------------------------------------------------
+
+
+def model_flops_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    """All-layer prefill FLOPs, plus the LM-head matmul for the last token."""
+    lm_head = 2 * spec.hidden_size * spec.vocab_size
+    return spec.num_layers * layer_flops_prefill(spec, num_tokens) + lm_head
+
+
+def model_flops_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    """All-layer decode FLOPs, plus per-request LM-head matmuls."""
+    lm_head = 2 * batch_size * spec.hidden_size * spec.vocab_size
+    return spec.num_layers * layer_flops_decode(spec, batch_size, sum_context) + lm_head
+
+
+def model_io_bytes_prefill(spec: ModelSpec, num_tokens: int) -> float:
+    lm_head = spec.vocab_size * spec.hidden_size * spec.dtype_bytes
+    return spec.num_layers * layer_io_bytes_prefill(spec, num_tokens) + lm_head
+
+
+def model_io_bytes_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    lm_head = spec.vocab_size * spec.hidden_size * spec.dtype_bytes
+    return spec.num_layers * layer_io_bytes_decode(spec, batch_size, sum_context) + lm_head

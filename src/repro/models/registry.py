@@ -1,0 +1,114 @@
+"""Registry of the OPT and LLaMA2 model families used in the paper."""
+
+from __future__ import annotations
+
+from repro.models.spec import ModelSpec
+
+
+def _opt(name: str, layers: int, hidden: int, heads: int) -> ModelSpec:
+    """OPT family: GELU MLP with 4H intermediate, MHA, 2K context."""
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        ffn_dim=4 * hidden,
+        ffn_matrices=2,
+        vocab_size=50272,
+        max_context=2048,
+    )
+
+
+def _llama2(
+    name: str, layers: int, hidden: int, heads: int, kv_heads: int, ffn: int
+) -> ModelSpec:
+    """LLaMA2 family: SwiGLU MLP (3 matrices), 4K context, GQA on 70B."""
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=kv_heads,
+        ffn_dim=ffn,
+        ffn_matrices=3,
+        vocab_size=32000,
+        max_context=4096,
+    )
+
+
+OPT_125M = _opt("opt-125m", 12, 768, 12)
+OPT_1_3B = _opt("opt-1.3b", 24, 2048, 32)
+OPT_2_7B = _opt("opt-2.7b", 32, 2560, 32)
+OPT_6_7B = _opt("opt-6.7b", 32, 4096, 32)
+OPT_13B = _opt("opt-13b", 40, 5120, 40)
+OPT_30B = _opt("opt-30b", 48, 7168, 56)
+OPT_66B = _opt("opt-66b", 64, 9216, 72)
+OPT_175B = _opt("opt-175b", 96, 12288, 96)
+
+LLAMA2_7B = _llama2("llama2-7b", 32, 4096, 32, 32, 11008)
+LLAMA2_13B = _llama2("llama2-13b", 40, 5120, 40, 40, 13824)
+LLAMA2_70B = _llama2("llama2-70b", 80, 8192, 64, 8, 28672)
+
+
+def _gpt3(name: str, layers: int, hidden: int, heads: int) -> ModelSpec:
+    """GPT-3 family (paper intro cites GPT): GELU MLP, MHA, 2K context."""
+    return ModelSpec(
+        name=name,
+        num_layers=layers,
+        hidden_size=hidden,
+        num_heads=heads,
+        num_kv_heads=heads,
+        ffn_dim=4 * hidden,
+        ffn_matrices=2,
+        vocab_size=50257,
+        max_context=2048,
+    )
+
+
+GPT3_6_7B = _gpt3("gpt3-6.7b", 32, 4096, 32)
+GPT3_13B = _gpt3("gpt3-13b", 40, 5120, 40)
+GPT3_175B = _gpt3("gpt3-175b", 96, 12288, 96)
+
+# GLM family (paper intro cites GLM); GLM-130B: 70 layers, 12288 hidden,
+# 96 heads, GeGLU FFN (~2/3 of 4H per matrix, 3 matrices).
+GLM_130B = ModelSpec(
+    name="glm-130b",
+    num_layers=70,
+    hidden_size=12288,
+    num_heads=96,
+    num_kv_heads=96,
+    ffn_dim=32768,
+    ffn_matrices=3,
+    vocab_size=150528,
+    max_context=2048,
+)
+
+MODEL_REGISTRY: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        OPT_125M,
+        OPT_1_3B,
+        OPT_2_7B,
+        OPT_6_7B,
+        OPT_13B,
+        OPT_30B,
+        OPT_66B,
+        OPT_175B,
+        LLAMA2_7B,
+        LLAMA2_13B,
+        LLAMA2_70B,
+        GPT3_6_7B,
+        GPT3_13B,
+        GPT3_175B,
+        GLM_130B,
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key]

@@ -1,0 +1,12 @@
+"""Analytic batch-latency model: roofline costs, parallelism, interference."""
+
+from repro.perf.roofline import BatchTiming, LatencyModel
+from repro.perf.interference import StreamContentionModel, SBDOutcome, HybridPolicy
+
+__all__ = [
+    "BatchTiming",
+    "LatencyModel",
+    "StreamContentionModel",
+    "SBDOutcome",
+    "HybridPolicy",
+]

@@ -1,0 +1,190 @@
+"""Roofline batch-latency estimation.
+
+One forward pass takes ``max(compute_time, io_time)`` on each GPU (compute
+and HBM traffic overlap in well-pipelined kernels) plus tensor-parallel
+all-reduce and pipeline-parallel activation-transfer time, plus a small
+per-layer kernel-launch overhead.  The paper's Profiler fits exactly these
+shapes (``a_p N + b_p N^2 + c_p`` for prefill, ``a_d sum(L) + c_d`` for
+decode); here we derive the constants from hardware and model specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec
+from repro.models.costs import (
+    model_flops_decode,
+    model_flops_prefill,
+    model_flops_prefill_extend,
+    model_io_bytes_decode,
+    model_io_bytes_prefill,
+    model_io_bytes_prefill_extend,
+)
+from repro.models.parallelism import ParallelConfig
+from repro.models.spec import ModelSpec
+
+# Fixed CPU-side + launch overhead per forward pass, per layer.  Covers
+# scheduler step, kernel launches, sampling.
+PER_LAYER_OVERHEAD_S = 8e-6
+PER_PASS_OVERHEAD_S = 1.5e-3
+
+# GEMM efficiency grows with the token (M) dimension; half of peak is
+# reached around this many tokens.  Chunked prefill suffers from this:
+# a 512-token chunk runs its GEMMs measurably below a 2048-token prefill.
+GEMM_SATURATION_HALF_TOKENS = 96
+
+
+def gemm_saturation(tokens: int) -> float:
+    """Fraction of the large-GEMM compute efficiency achieved at ``tokens``."""
+    if tokens <= 0:
+        return 1.0
+    return tokens / (tokens + GEMM_SATURATION_HALF_TOKENS)
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Latency decomposition of one forward pass on one pipeline stage set.
+
+    ``duration`` is wall-clock; ``compute_time`` and ``io_time`` are the
+    separate tensor-core-busy and HBM-busy components used for the Fig. 2
+    utilisation accounting.
+    """
+
+    duration: float
+    compute_time: float
+    io_time: float
+    comm_time: float
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_time >= self.io_time
+
+
+class LatencyModel:
+    """Estimates forward-pass latency for a (model, GPU, parallelism) triple."""
+
+    def __init__(self, spec: ModelSpec, gpu: GPUSpec, parallel: ParallelConfig) -> None:
+        self.spec = spec
+        self.gpu = gpu
+        self.parallel = parallel
+
+    # -- internals --------------------------------------------------------
+
+    def _assemble(self, compute_time: float, io_time: float, tokens_moved: int) -> BatchTiming:
+        comm = self.parallel.tp_allreduce_time(self.spec, tokens_moved)
+        comm += self.parallel.pp_activation_time(self.spec, tokens_moved)
+        overhead = PER_PASS_OVERHEAD_S + self.spec.num_layers * PER_LAYER_OVERHEAD_S
+        duration = max(compute_time, io_time) + comm + overhead
+        return BatchTiming(
+            duration=duration,
+            compute_time=compute_time,
+            io_time=io_time,
+            comm_time=comm,
+        )
+
+    def _compute_time(self, flops: float, saturation_tokens: int | None) -> float:
+        sat = gemm_saturation(saturation_tokens) if saturation_tokens is not None else 1.0
+        return self.parallel.shard_flops(flops) / (self.gpu.effective_flops * sat)
+
+    def _io_time(self, io_bytes: float) -> float:
+        return self.parallel.shard_io_bytes(io_bytes) / self.gpu.effective_bandwidth
+
+    # -- public API ---------------------------------------------------------
+
+    def prefill(self, num_tokens: int) -> BatchTiming:
+        """One prefill pass over ``num_tokens`` prompt tokens (possibly batched)."""
+        if num_tokens <= 0:
+            return BatchTiming(0.0, 0.0, 0.0, 0.0)
+        compute = self._compute_time(model_flops_prefill(self.spec, num_tokens), num_tokens)
+        io = self._io_time(model_io_bytes_prefill(self.spec, num_tokens))
+        return self._assemble(compute, io, num_tokens)
+
+    def prefill_extend(self, new_tokens: int, prior_context: int) -> BatchTiming:
+        """Prefill one chunk of ``new_tokens`` attending over ``prior_context``
+        already-cached tokens (chunked-prefill step)."""
+        if new_tokens <= 0:
+            return BatchTiming(0.0, 0.0, 0.0, 0.0)
+        compute = self._compute_time(
+            model_flops_prefill_extend(self.spec, new_tokens, prior_context), new_tokens
+        )
+        io = self._io_time(
+            model_io_bytes_prefill_extend(self.spec, new_tokens, prior_context)
+        )
+        return self._assemble(compute, io, new_tokens)
+
+    def decode(self, batch_size: int, sum_context: int) -> BatchTiming:
+        """One decode iteration for ``batch_size`` requests with total context
+        ``sum_context`` tokens.  Decode kernels are bandwidth-bound; no GEMM
+        saturation penalty is applied to their (irrelevant) compute estimate."""
+        if batch_size <= 0:
+            return BatchTiming(0.0, 0.0, 0.0, 0.0)
+        compute = self._compute_time(
+            model_flops_decode(self.spec, batch_size, sum_context), None
+        )
+        io = self._io_time(model_io_bytes_decode(self.spec, batch_size, sum_context))
+        return self._assemble(compute, io, batch_size)
+
+    def hybrid(
+        self,
+        prefill_tokens: int,
+        batch_size: int,
+        sum_context: int,
+        prefill_prior_context: int = 0,
+    ) -> BatchTiming:
+        """One fused pass combining a prefill chunk and decode requests
+        (vLLM-style hybrid continuous batching / chunked prefill)."""
+        if prefill_tokens <= 0:
+            return self.decode(batch_size, sum_context)
+        if batch_size <= 0:
+            return self.prefill_extend(prefill_tokens, prefill_prior_context)
+        spec = self.spec
+        all_tokens = prefill_tokens + batch_size
+        # Linear ops (QKVO projections, FFN, LM head) fuse across prefill and
+        # decode tokens: weights stream once, compute covers every token.
+        linear_flops = 2 * all_tokens * spec.num_layers * spec.params_per_layer
+        linear_flops += 2 * (1 + batch_size) * spec.hidden_size * spec.vocab_size
+        linear_io = spec.num_layers * spec.weight_bytes_per_layer
+        linear_io += spec.vocab_size * spec.hidden_size * spec.dtype_bytes
+        linear_io += 8 * all_tokens * spec.hidden_size * spec.dtype_bytes
+        linear_compute = self._compute_time(linear_flops, all_tokens)
+        linear_io_time = self._io_time(linear_io)
+
+        # Attention kernels run per phase: the prefill chunk's score/value
+        # GEMMs (compute-bound, re-reading prior-chunk KV) then the decode
+        # batch's paged attention (bandwidth-bound KV sweep).
+        h = spec.hidden_size
+        p_attn_flops = spec.num_layers * 4 * prefill_tokens * (
+            prefill_prior_context + prefill_tokens
+        ) * h
+        p_attn_io = spec.num_layers * (
+            (prefill_prior_context + prefill_tokens) * spec.kv_bytes_per_token_per_layer
+        )
+        p_attn = max(
+            self._compute_time(p_attn_flops, prefill_tokens), self._io_time(p_attn_io)
+        )
+        d_attn_io = spec.num_layers * (
+            (sum_context + batch_size) * spec.kv_bytes_per_token_per_layer
+        )
+        d_attn = max(
+            self._compute_time(
+                spec.num_layers * 4 * sum_context * h, None
+            ),
+            self._io_time(d_attn_io),
+        )
+        compute = max(linear_compute, linear_io_time) + p_attn + d_attn
+        io_total = linear_io_time + self._io_time(p_attn_io + d_attn_io)
+        comm = self.parallel.tp_allreduce_time(spec, all_tokens)
+        comm += self.parallel.pp_activation_time(spec, all_tokens)
+        overhead = PER_PASS_OVERHEAD_S + spec.num_layers * PER_LAYER_OVERHEAD_S
+        duration = compute + comm + overhead
+        return BatchTiming(
+            duration=duration,
+            compute_time=linear_compute + p_attn,
+            io_time=io_total,
+            comm_time=comm,
+        )
+
+    def pipeline_slots(self) -> int:
+        """Concurrent batches the instance keeps in flight (PP pipelining)."""
+        return self.parallel.pp

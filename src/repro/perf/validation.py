@@ -1,0 +1,127 @@
+"""Latency-model validation: how well do the layers of approximation agree?
+
+Three levels of latency estimation exist in the repository:
+
+1. the roofline model (`LatencyModel`) — the simulator's ground truth;
+2. the Profiler's low-order regressions — what WindServe schedules with;
+3. closed-form scaling laws (linear decode, quadratic prefill) — what the
+   paper's Table 1 analysis implies.
+
+`validate_profiler` quantifies the gap between (1) and (2) across a grid
+of operating points and reports the error distribution, flagging regions
+where the Global Scheduler's predictions would mislead it.  This mirrors
+the validation any serving-system artifact should ship: scheduling is only
+as good as its latency oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.profiler import Profiler
+from repro.perf.roofline import LatencyModel
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One grid point: predicted vs modelled latency."""
+
+    phase: str  # "prefill" | "decode"
+    tokens: int  # prefill tokens or summed decode context
+    batch: int  # decode batch size (1 for prefill rows)
+    actual: float
+    predicted: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual == 0:
+            return 0.0
+        return (self.predicted - self.actual) / self.actual
+
+
+@dataclass
+class ValidationReport:
+    """Error distribution of the Profiler against the roofline model."""
+
+    points: list[ValidationPoint]
+
+    def _errors(self, phase: str | None = None) -> np.ndarray:
+        values = [
+            abs(p.relative_error)
+            for p in self.points
+            if phase is None or p.phase == phase
+        ]
+        return np.asarray(values) if values else np.asarray([0.0])
+
+    def mape(self, phase: str | None = None) -> float:
+        return float(self._errors(phase).mean())
+
+    def worst(self, phase: str | None = None) -> float:
+        return float(self._errors(phase).max())
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "phase": p.phase,
+                "tokens": p.tokens,
+                "batch": p.batch,
+                "actual (ms)": p.actual * 1e3,
+                "predicted (ms)": p.predicted * 1e3,
+                "error %": p.relative_error * 100,
+            }
+            for p in self.points
+        ]
+
+    def summary(self) -> dict:
+        return {
+            "prefill_mape": self.mape("prefill"),
+            "prefill_worst": self.worst("prefill"),
+            "decode_mape": self.mape("decode"),
+            "decode_worst": self.worst("decode"),
+            "points": len(self.points),
+        }
+
+
+def validate_profiler(
+    latency: LatencyModel,
+    profiler: Profiler | None = None,
+    prefill_grid: tuple[int, ...] = (32, 128, 384, 768, 1536, 2048),
+    decode_grid: tuple[tuple[int, int], ...] = (
+        (1, 512),
+        (4, 512),
+        (8, 1024),
+        (16, 1024),
+        (32, 1536),
+        (64, 1024),
+    ),
+) -> ValidationReport:
+    """Evaluate the Profiler's fits against the roofline over a grid."""
+    profiler = profiler or Profiler(latency)
+    spec = latency.spec
+    points: list[ValidationPoint] = []
+    for n in prefill_grid:
+        n = min(n, spec.max_context)
+        points.append(
+            ValidationPoint(
+                phase="prefill",
+                tokens=n,
+                batch=1,
+                actual=latency.prefill(n).duration,
+                predicted=profiler.predict_prefill(n),
+            )
+        )
+    for batch, ctx in decode_grid:
+        ctx = min(ctx, spec.max_context)
+        sum_l = batch * ctx
+        points.append(
+            ValidationPoint(
+                phase="decode",
+                tokens=sum_l,
+                batch=batch,
+                actual=latency.decode(batch, sum_l).duration,
+                predicted=profiler.predict_decode(sum_l),
+            )
+        )
+    return ValidationReport(points)

@@ -1,0 +1,95 @@
+"""Post-run consistency auditing.
+
+``audit_system`` checks the invariants every healthy run must satisfy —
+request timestamp ordering, token accounting, KV-pool cleanliness, queue
+emptiness — and returns a list of human-readable violations (empty when
+clean).  The test suite runs it after end-to-end simulations; users can run
+it after their own experiments to catch configuration mistakes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.serving.request import Phase, Request
+from repro.serving.system import ServingSystem
+
+
+def audit_request(request: Request) -> list[str]:
+    """Invariant violations for one supposedly finished request."""
+    problems: list[str] = []
+    rid = request.request_id
+
+    if not request.finished:
+        problems.append(f"request {rid}: not finished (phase={request.phase.value})")
+        return problems
+    if request.first_token_time is None or request.finish_time is None:
+        problems.append(f"request {rid}: finished without timestamps")
+        return problems
+
+    if request.output_generated != request.output_tokens:
+        problems.append(
+            f"request {rid}: generated {request.output_generated} of "
+            f"{request.output_tokens} tokens"
+        )
+    if request.prefilled_tokens < request.prompt_tokens and request.recompute_count == 0:
+        problems.append(
+            f"request {rid}: prefilled only {request.prefilled_tokens} of "
+            f"{request.prompt_tokens} prompt tokens"
+        )
+
+    # Timestamp ordering: arrival <= prefill start <= first token <= finish.
+    order = [("arrival", request.arrival_time)]
+    if request.prefill_start is not None:
+        order.append(("prefill_start", request.prefill_start))
+    order.append(("first_token", request.first_token_time))
+    order.append(("finish", request.finish_time))
+    for (name_a, a), (name_b, b) in zip(order, order[1:]):
+        if b < a - 1e-9:
+            problems.append(f"request {rid}: {name_b} ({b:.6f}) before {name_a} ({a:.6f})")
+
+    if request.ttft is not None and request.ttft < 0:
+        problems.append(f"request {rid}: negative TTFT")
+    if request.tpot is not None and request.tpot < 0:
+        problems.append(f"request {rid}: negative TPOT")
+    if request.decode_queue_delay is not None and request.decode_queue_delay < -1e-9:
+        problems.append(f"request {rid}: negative decode queue delay")
+    return problems
+
+
+def audit_system(
+    system: ServingSystem, submitted: Optional[Iterable[Request]] = None
+) -> list[str]:
+    """Invariant violations for a drained serving system."""
+    problems: list[str] = []
+
+    completed_ids = [r.request_id for r in system.metrics.completed]
+    if len(set(completed_ids)) != len(completed_ids):
+        problems.append("duplicate completions recorded")
+
+    if submitted is not None:
+        submitted = list(submitted)
+        missing = {r.request_id for r in submitted} - set(completed_ids)
+        if missing:
+            problems.append(f"{len(missing)} submitted requests never completed: "
+                            f"{sorted(missing)[:5]}...")
+        for request in submitted:
+            problems.extend(audit_request(request))
+    else:
+        for request in system.metrics.completed:
+            problems.extend(audit_request(request))
+
+    for instance in system.instances:
+        if instance.kv.used_gpu_blocks != 0:
+            problems.append(
+                f"{instance.name}: {instance.kv.used_gpu_blocks} GPU KV blocks leaked"
+            )
+        if instance.waiting:
+            problems.append(f"{instance.name}: {len(instance.waiting)} requests stuck waiting")
+        if instance.total_running:
+            problems.append(f"{instance.name}: {instance.total_running} requests stuck running")
+        if instance.swapped:
+            problems.append(f"{instance.name}: {len(instance.swapped)} requests stuck swapped")
+        if any(lane.busy for lane in instance.lanes):
+            problems.append(f"{instance.name}: lane still busy after drain")
+    return problems

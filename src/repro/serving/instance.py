@@ -1,0 +1,430 @@
+"""Generic serving instance: execution lanes, KV pool, swap machinery.
+
+An :class:`Instance` owns a set of GPUs running one model replica with a
+given parallelism.  It executes one batch per *lane* at a time — a lane is a
+pipeline-parallel interleave slot, so a ``PP-2`` instance keeps two batches
+in flight, which models pipeline throughput without simulating per-stage
+micro-batches.
+
+Subclasses implement the scheduling policy by overriding ``_form_batch``
+(what to run next on a free lane) and ``_on_batch_complete`` (what the
+results mean).  Shared machinery here covers continuous-batching decode
+iterations, KV growth, and CPU swap preemption — the substrate every system
+in the paper builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.hardware.gpu import GB, GPUSpec
+from repro.kvcache.blocks import KVBlockManager
+from repro.kvcache.transfer import KVTransferEngine
+from repro.models.parallelism import ParallelConfig
+from repro.models.spec import ModelSpec
+from repro.perf.interference import StreamContentionModel
+from repro.perf.roofline import LatencyModel
+from repro.serving.batching import Batch
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import Phase, Request
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.system import ServingSystem
+
+
+@dataclass(frozen=True)
+class InstanceConfig:
+    """Tunables shared by all instance types."""
+
+    block_size: int = 16
+    activation_reserve_gb: float = 8.0
+    cpu_swap_gb: float = 128.0
+    max_prefill_tokens_per_batch: int = 8192
+    max_decode_batch_size: int = 256
+    max_batched_tokens: int = 512  # chunked-prefill budget per hybrid iteration
+    preemption_mode: str = "swap"  # "swap" (to CPU DRAM) or "recompute"
+    swap_in_free_blocks: int = 64
+    kv_capacity_override_tokens: Optional[int] = None
+
+
+class Lane:
+    """One pipeline interleave slot: runs one batch at a time."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.busy = False
+        self.busy_until = 0.0
+        self.running: list[Request] = []
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.running)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Lane({self.index}, busy={self.busy}, running={len(self.running)})"
+
+
+class Instance:
+    """Base serving instance; see module docstring."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        spec: ModelSpec,
+        gpu: GPUSpec,
+        parallel: ParallelConfig,
+        gpus: tuple[int, ...],
+        metrics: MetricsCollector,
+        transfers: KVTransferEngine,
+        config: InstanceConfig,
+        contention: Optional[StreamContentionModel] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if len(gpus) != parallel.num_gpus:
+            raise ValueError(
+                f"{name}: placement has {len(gpus)} GPUs but parallelism "
+                f"{parallel.label()} needs {parallel.num_gpus}"
+            )
+        self.name = name
+        self.sim = sim
+        self.spec = spec
+        self.gpu = gpu
+        self.parallel = parallel
+        self.gpus = gpus
+        self.metrics = metrics
+        self.transfers = transfers
+        self.config = config
+        self.contention = contention or StreamContentionModel()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.latency = LatencyModel(spec, gpu, parallel)
+        self.system: Optional["ServingSystem"] = None
+
+        self.kv = KVBlockManager(
+            gpu_capacity_tokens=self._kv_capacity_tokens(),
+            cpu_capacity_tokens=int(config.cpu_swap_gb * GB / spec.kv_bytes_per_token),
+            block_size=config.block_size,
+            bytes_per_token=spec.kv_bytes_per_token,
+        )
+        self.lanes = [Lane(i) for i in range(parallel.pp)]
+        self.waiting: deque[Request] = deque()
+        self.swapped: list[Request] = []
+        self._swapping_in: set[int] = set()
+        self.paused_until = 0.0
+        self.halted = False  # failure injection: drop all future work
+
+    # -- construction helpers ----------------------------------------------
+
+    def _kv_capacity_tokens(self) -> int:
+        if self.config.kv_capacity_override_tokens is not None:
+            return self.config.kv_capacity_override_tokens
+        per_gpu_budget = (
+            self.gpu.hbm_capacity_bytes
+            - self.parallel.weight_bytes_per_gpu(self.spec)
+            - int(self.config.activation_reserve_gb * GB)
+        )
+        if per_gpu_budget <= 0:
+            raise ValueError(
+                f"{self.name}: model weights do not fit — "
+                f"{self.spec.name} on {self.parallel.num_gpus}x {self.gpu.name}"
+            )
+        total = per_gpu_budget * self.parallel.num_gpus
+        return int(total / self.spec.kv_bytes_per_token)
+
+    # -- queue API ------------------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Add a request to this instance's FCFS waiting queue."""
+        self.waiting.append(request)
+        self.kick()
+
+    @property
+    def running_requests(self) -> list[Request]:
+        return [r for lane in self.lanes for r in lane.running]
+
+    @property
+    def total_running(self) -> int:
+        return sum(lane.batch_size for lane in self.lanes)
+
+    def queued_prefill_tokens(self) -> int:
+        """Prompt tokens waiting in the queue (the Profiler's overload input)."""
+        return sum(r.remaining_prefill_tokens for r in self.waiting)
+
+    # -- execution loop ----------------------------------------------------------
+
+    def kick(self) -> None:
+        """Try to start work on every idle lane."""
+        if self.halted:
+            return
+        if self.sim.now < self.paused_until - 1e-12:
+            return  # replanning stall: whoever paused us schedules the resume
+        self._try_swap_in()
+        for lane in self.lanes:
+            if lane.busy:
+                continue
+            batch = self._form_batch(lane)
+            if batch is None:
+                continue
+            self._execute(lane, batch)
+
+    def _execute(self, lane: Lane, batch: Batch) -> None:
+        lane.busy = True
+        lane.busy_until = self.sim.now + batch.duration
+        if batch.timing is not None:
+            self.metrics.record_batch(
+                self.name,
+                batch.duration,
+                batch.timing.compute_time,
+                batch.timing.io_time,
+                lanes=len(self.lanes),
+            )
+        self.trace.emit(
+            self.sim.now,
+            self.name,
+            "batch-start",
+            kind=batch.kind,
+            prefill_tokens=batch.prefill_tokens,
+            decode_batch=batch.decode_batch_size,
+            duration=batch.duration,
+        )
+        self.sim.schedule(batch.duration, self._complete, lane, batch)
+
+    def _complete(self, lane: Lane, batch: Batch) -> None:
+        lane.busy = False
+        if self.halted:
+            return  # the node died mid-batch; results are lost
+        self._on_batch_complete(lane, batch)
+        self.kick()
+
+    # -- policy hooks (subclasses override) -----------------------------------------
+
+    def _form_batch(self, lane: Lane) -> Optional[Batch]:
+        raise NotImplementedError
+
+    def _on_batch_complete(self, lane: Lane, batch: Batch) -> None:
+        raise NotImplementedError
+
+    # -- shared decode machinery ------------------------------------------------
+
+    def least_loaded_lane(self) -> Lane:
+        return min(self.lanes, key=lambda lane: lane.batch_size)
+
+    def start_decoding(self, request: Request, lane: Optional[Lane] = None) -> None:
+        """Place a request (whose KV is resident here) into a decode lane."""
+        target = lane or self.least_loaded_lane()
+        request.phase = Phase.DECODING
+        target.running.append(request)
+
+    def finish_decode_iteration(self, lane: Lane, batch: Batch) -> None:
+        """Apply the results of one decode iteration: grow KV, emit tokens,
+        retire finished requests, preempt under memory pressure."""
+        now = self.sim.now
+        for request in list(batch.decode_requests):
+            if request not in lane.running:
+                continue  # migrated or preempted mid-flight
+            if not self._grow_kv(lane, request):
+                continue  # the request itself was preempted to CPU swap
+            request.output_generated += 1
+            if request.decode_iterations_remaining <= 0:
+                lane.running.remove(request)
+                self._retire(request, now)
+
+    def _grow_kv(self, lane: Lane, request: Request) -> bool:
+        """Reserve KV for the request's next token, preempting if needed.
+
+        Returns False when the request itself had to be swapped out (its
+        token is not counted; it resumes after swap-in)."""
+        while not self.kv.can_extend(request.request_id, 1):
+            victim = self._pick_swap_victim(exclude=request)
+            if victim is None:
+                victim = request
+            self._preempt(victim)
+            if victim is request:
+                return False
+        self.kv.extend(request.request_id, 1)
+        return True
+
+    def _preempt(self, victim: Request) -> None:
+        """Evict a running request's KV: CPU swap or recompute, per config."""
+        if self.config.preemption_mode == "recompute" and self._supports_recompute():
+            self._recompute_preempt(victim)
+        else:
+            self._swap_out(victim)
+
+    def _supports_recompute(self) -> bool:
+        """Only instances that can run prefill locally may recompute."""
+        return False
+
+    def _recompute_preempt(self, victim: Request) -> None:
+        """Drop the victim's KV and requeue it for a full re-prefill."""
+        for lane in self.lanes:
+            if victim in lane.running:
+                lane.running.remove(victim)
+                break
+        self.kv.free(victim.request_id)
+        victim.restart_prefill()
+        self.metrics.bump("recompute_preempt")
+        self.waiting.appendleft(victim)
+        self.trace.emit(
+            self.sim.now, self.name, "recompute-preempt", request_id=victim.request_id
+        )
+
+    def _retire(self, request: Request, now: float) -> None:
+        request.phase = Phase.FINISHED
+        request.finish_time = now
+        self.kv.free(request.request_id)
+        self.metrics.record_completion(request)
+        self.trace.emit(now, self.name, "finish", request_id=request.request_id)
+        if self.system is not None:
+            self.system.on_request_finished(request, self)
+
+    # -- swapping ----------------------------------------------------------------
+
+    def _pick_swap_victim(self, exclude: Optional[Request] = None) -> Optional[Request]:
+        """Latest-arrived running request (vLLM's preemption order)."""
+        candidates = [r for r in self.running_requests if r is not exclude]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.arrival_time)
+
+    def _swap_out(self, victim: Request) -> None:
+        for lane in self.lanes:
+            if victim in lane.running:
+                lane.running.remove(victim)
+                break
+        victim.phase = Phase.SWAPPED
+        victim.swap_out_count += 1
+        self.metrics.bump("swap_out")
+        nbytes = self.kv.swap_out(victim.request_id)
+        self.transfers.swap(nbytes, list(self.gpus), kind="swap-out")
+        self.swapped.append(victim)
+        self.trace.emit(
+            self.sim.now, self.name, "swap-out", request_id=victim.request_id, nbytes=nbytes
+        )
+
+    def _swap_in_watermark(self) -> int:
+        """Free blocks required before swapping back in (scaled for small pools)."""
+        return min(self.config.swap_in_free_blocks, max(1, self.kv.gpu_capacity_blocks // 20))
+
+    def _try_swap_in(self) -> None:
+        # Drop entries whose allocation left this instance (e.g. migrated away).
+        self.swapped = [r for r in self.swapped if self.kv.has(r.request_id)]
+        while (
+            self.swapped
+            and self.kv.free_gpu_blocks >= self._swap_in_watermark()
+            and self.kv.can_swap_in(self.swapped[0].request_id)
+        ):
+            request = self.swapped.pop(0)
+            if request.request_id in self._swapping_in:
+                continue
+            self._swapping_in.add(request.request_id)
+            nbytes = self.kv.swap_in(request.request_id)
+            self.metrics.bump("swap_in")
+            self.transfers.swap(
+                nbytes,
+                list(self.gpus),
+                on_complete=lambda job, r=request: self._swap_in_done(r),
+                kind="swap-in",
+            )
+
+    def _swap_in_done(self, request: Request) -> None:
+        self._swapping_in.discard(request.request_id)
+        if self.halted:
+            return
+        if request.finished or not self.kv.has(request.request_id):
+            return  # retired or migrated away while the copy was in flight
+        if request.extra.get("migrating") or request.phase == Phase.MIGRATING:
+            return  # the migration manager owns this request now
+        self.start_decoding(request)
+        self.trace.emit(self.sim.now, self.name, "swap-in", request_id=request.request_id)
+        self.kick()
+
+    # -- reconfiguration (replanning restarts) ----------------------------------
+
+    def reconfigure(self, parallel: ParallelConfig, gpus: tuple[int, ...]) -> None:
+        """Restart this instance with a new parallelism and GPU set.
+
+        Models a replanning restart that preserves live KV (a best case for
+        the replanning baseline): allocations carry over into the resized
+        pool; anything that no longer fits is displaced to CPU swap.  All
+        lanes must be idle (the caller stalls execution first).
+        """
+        if len(gpus) != parallel.num_gpus:
+            raise ValueError(
+                f"{self.name}: reconfigure got {len(gpus)} GPUs for {parallel.label()}"
+            )
+        if any(lane.busy for lane in self.lanes):
+            raise RuntimeError(f"{self.name}: cannot reconfigure with batches in flight")
+        from repro.kvcache.blocks import BlockLocation, KVBlockManager
+
+        old_kv = self.kv
+        self.parallel = parallel
+        self.gpus = gpus
+        self.latency = LatencyModel(self.spec, self.gpu, parallel)
+
+        running = self.running_requests
+        self.lanes = [Lane(i) for i in range(parallel.pp)]
+        for i, request in enumerate(running):
+            self.lanes[i % parallel.pp].running.append(request)
+
+        self.kv = KVBlockManager(
+            gpu_capacity_tokens=self._kv_capacity_tokens(),
+            cpu_capacity_tokens=int(
+                self.config.cpu_swap_gb * GB / self.spec.kv_bytes_per_token
+            ),
+            block_size=self.config.block_size,
+            bytes_per_token=self.spec.kv_bytes_per_token,
+        )
+        by_request = {r.request_id: r for r in running + self.swapped + list(self.waiting)}
+        dropped: list[Request] = []
+        for alloc in old_kv.residents(BlockLocation.GPU) + old_kv.residents(
+            BlockLocation.CPU
+        ):
+            request = by_request.get(alloc.request_id)
+            target = alloc.location
+            if target == BlockLocation.GPU and not self.kv.can_allocate(alloc.tokens):
+                target = BlockLocation.CPU  # displaced by the shrink
+            if target == BlockLocation.CPU and alloc.blocks > self.kv.free_cpu_blocks:
+                # Neither pool can hold it: the restart loses this KV and the
+                # request must recompute through the pipeline.
+                self._evict_from_queues(request)
+                if request is not None:
+                    dropped.append(request)
+                self.metrics.bump("reconfigure_dropped")
+                continue
+            if target == BlockLocation.CPU and alloc.location == BlockLocation.GPU:
+                self._evict_from_queues(request)
+                if request is not None:
+                    request.phase = Phase.SWAPPED
+                    request.swap_out_count += 1
+                    self.swapped.append(request)
+                    self.metrics.bump("swap_out")
+            self.kv.adopt(alloc.request_id, alloc.tokens, target)
+        self.metrics.bump("reconfigure")
+        self.trace.emit(
+            self.sim.now, self.name, "reconfigure", parallel=parallel.label(), gpus=gpus
+        )
+        if self.system is not None:
+            for request in dropped:
+                self.system.on_kv_dropped(request, self)
+
+    def _evict_from_queues(self, request: Optional[Request]) -> None:
+        if request is None:
+            return
+        for lane in self.lanes:
+            if request in lane.running:
+                lane.running.remove(request)
+                return
+        if request in self.swapped:
+            self.swapped.remove(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}({self.name}, gpus={self.gpus}, "
+            f"{self.parallel.label()}, waiting={len(self.waiting)}, "
+            f"running={self.total_running})"
+        )

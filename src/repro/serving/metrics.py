@@ -1,0 +1,175 @@
+"""Service-quality metrics: TTFT/TPOT percentiles, SLO attainment, utilisation.
+
+The paper reports TTFT P50/P99, TPOT P90/P99, and the *SLO attainment rate*
+defined as the fraction of requests meeting **both** their TTFT and TPOT
+SLOs.  Utilisation counters (tensor-core-busy and HBM-busy integrals per
+instance) feed the Fig. 2 reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.request import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile; NaN for empty input."""
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Per-request latency objectives (paper Table 4)."""
+
+    ttft: float
+    tpot: float
+
+    def met_by(self, request: Request) -> bool:
+        ttft, tpot = request.ttft, request.tpot
+        if ttft is None or tpot is None:
+            return False
+        return ttft <= self.ttft and tpot <= self.tpot
+
+    def ttft_met_by(self, request: Request) -> bool:
+        return request.ttft is not None and request.ttft <= self.ttft
+
+    def tpot_met_by(self, request: Request) -> bool:
+        return request.tpot is not None and request.tpot <= self.tpot
+
+
+@dataclass
+class LatencyStats:
+    """Percentile summary of one latency series."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        if len(values) == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan)
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=len(arr),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+        )
+
+
+@dataclass
+class UtilizationSample:
+    """Busy-time integral of one instance over the run."""
+
+    compute_busy: float = 0.0
+    io_busy: float = 0.0
+    wall_busy: float = 0.0
+    lanes: int = 1
+
+    def compute_utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.compute_busy / (elapsed * self.lanes))
+
+    def io_utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.io_busy / (elapsed * self.lanes))
+
+
+class MetricsCollector:
+    """Accumulates completed requests and system counters during a run."""
+
+    def __init__(self) -> None:
+        self.completed: list[Request] = []
+        self.counters: Counter[str] = Counter()
+        self.utilization: dict[str, UtilizationSample] = {}
+        self.horizon: float = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_completion(self, request: Request) -> None:
+        self.completed.append(request)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] += amount
+
+    def record_batch(
+        self, instance: str, duration: float, compute_time: float, io_time: float, lanes: int
+    ) -> None:
+        sample = self.utilization.setdefault(instance, UtilizationSample(lanes=lanes))
+        sample.compute_busy += compute_time
+        sample.io_busy += io_time
+        sample.wall_busy += duration
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def ttfts(self) -> list[float]:
+        return [r.ttft for r in self.completed if r.ttft is not None]
+
+    @property
+    def tpots(self) -> list[float]:
+        return [r.tpot for r in self.completed if r.tpot is not None]
+
+    @property
+    def decode_queue_delays(self) -> list[float]:
+        return [
+            r.decode_queue_delay for r in self.completed if r.decode_queue_delay is not None
+        ]
+
+    def ttft_stats(self) -> LatencyStats:
+        return LatencyStats.from_values(self.ttfts)
+
+    def tpot_stats(self) -> LatencyStats:
+        return LatencyStats.from_values(self.tpots)
+
+    def slo_attainment(self, slo: SLO) -> float:
+        """Fraction of completed requests meeting both SLOs."""
+        if not self.completed:
+            return float("nan")
+        return sum(slo.met_by(r) for r in self.completed) / len(self.completed)
+
+    def ttft_attainment(self, slo: SLO) -> float:
+        if not self.completed:
+            return float("nan")
+        return sum(slo.ttft_met_by(r) for r in self.completed) / len(self.completed)
+
+    def tpot_attainment(self, slo: SLO) -> float:
+        if not self.completed:
+            return float("nan")
+        return sum(slo.tpot_met_by(r) for r in self.completed) / len(self.completed)
+
+    def summary(self, slo: Optional[SLO] = None) -> dict:
+        """One flat dict with the headline numbers (for harness tables)."""
+        ttft, tpot = self.ttft_stats(), self.tpot_stats()
+        out = {
+            "completed": len(self.completed),
+            "ttft_p50": ttft.p50,
+            "ttft_p90": ttft.p90,
+            "ttft_p99": ttft.p99,
+            "tpot_p50": tpot.p50,
+            "tpot_p90": tpot.p90,
+            "tpot_p99": tpot.p99,
+            "mean_decode_queue_delay": (
+                float(np.mean(self.decode_queue_delays)) if self.decode_queue_delays else 0.0
+            ),
+            "swap_events": self.counters.get("swap_out", 0),
+        }
+        if slo is not None:
+            out["slo_attainment"] = self.slo_attainment(slo)
+            out["ttft_attainment"] = self.ttft_attainment(slo)
+            out["tpot_attainment"] = self.tpot_attainment(slo)
+        return out

@@ -1,0 +1,149 @@
+"""GPU placement planning for serving instances.
+
+Follows the testbed's constraints (Fig. 9): tensor-parallel groups want the
+NVLink bridge (so TP-2 groups map onto hardware pairs), and prefill/decode
+instances are interleaved across pairs so that KV-cache transfers stay on
+the intra-NUMA PCIe switch instead of crossing the Root Complex — the same
+choices DistServe's placement simulation makes on this hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.topology import NodeTopology
+from repro.models.parallelism import ParallelConfig
+
+
+class PlacementError(ValueError):
+    """Raised when the requested parallelism does not fit the node."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Chosen GPUs and parallelism for a prefill/decode instance pair."""
+
+    prefill_gpus: tuple[int, ...]
+    decode_gpus: tuple[int, ...]
+    prefill_parallel: ParallelConfig
+    decode_parallel: ParallelConfig
+
+    def label(self) -> str:
+        return f"[{self.prefill_parallel.label()}; {self.decode_parallel.label()}]"
+
+
+def _tp_groups(topology: NodeTopology, tp: int, count: int, taken: set[int]) -> list[tuple[int, ...]]:
+    """Pick ``count`` TP groups of size ``tp`` from free GPUs, preferring
+    NVLink pairs for TP-2."""
+    groups: list[tuple[int, ...]] = []
+    free = [g for g in range(topology.num_gpus) if g not in taken]
+    if tp == 2:
+        pairs = [
+            (a, topology.nvlink_peer(a))
+            for a in free
+            if topology.nvlink_peer(a) is not None and a % 2 == 0
+        ]
+        pairs = [(a, b) for a, b in pairs if b not in taken]
+        for pair in pairs:
+            if len(groups) == count:
+                break
+            groups.append(pair)  # type: ignore[arg-type]
+            taken.update(pair)  # type: ignore[arg-type]
+    while len(groups) < count:
+        free = [g for g in range(topology.num_gpus) if g not in taken]
+        if len(free) < tp:
+            raise PlacementError(
+                f"not enough free GPUs for {count} groups of TP-{tp} "
+                f"on a {topology.num_gpus}-GPU node"
+            )
+        group = tuple(free[:tp])
+        taken.update(group)
+        groups.append(group)
+    return groups
+
+
+def _tp_link_gbps(topology: NodeTopology, group: tuple[int, ...]) -> float:
+    """Bandwidth of the slowest link inside a TP group."""
+    if len(group) == 1:
+        return float("inf")
+    worst = float("inf")
+    for i in range(len(group)):
+        for j in range(i + 1, len(group)):
+            path = topology.path(group[i], group[j])
+            worst = min(worst, path.bottleneck_bytes_per_s / 1024**3)
+    return worst
+
+
+def plan_pd_placement(
+    topology: NodeTopology,
+    prefill_parallel: ParallelConfig,
+    decode_parallel: ParallelConfig,
+) -> Placement:
+    """Place a prefill and a decode instance on one node.
+
+    Pipeline stages of the two instances are allocated alternately so the
+    prefill stage ``k`` and decode stage ``k`` land in the same NUMA domain,
+    keeping the prefill->decode KV transfer off the Root Complex.
+    """
+    total = prefill_parallel.num_gpus + decode_parallel.num_gpus
+    if total > topology.num_gpus:
+        raise PlacementError(
+            f"placement needs {total} GPUs but the node has {topology.num_gpus}"
+        )
+    taken: set[int] = set()
+    prefill_groups: list[tuple[int, ...]] = []
+    decode_groups: list[tuple[int, ...]] = []
+    p_left, d_left = prefill_parallel.pp, decode_parallel.pp
+    # Alternate prefill/decode stage allocation for NUMA adjacency.
+    while p_left or d_left:
+        if p_left:
+            prefill_groups += _tp_groups(topology, prefill_parallel.tp, 1, taken)
+            p_left -= 1
+        if d_left:
+            decode_groups += _tp_groups(topology, decode_parallel.tp, 1, taken)
+            d_left -= 1
+
+    prefill_gpus = tuple(g for grp in prefill_groups for g in grp)
+    decode_gpus = tuple(g for grp in decode_groups for g in grp)
+    p_link = min(_tp_link_gbps(topology, grp) for grp in prefill_groups)
+    d_link = min(_tp_link_gbps(topology, grp) for grp in decode_groups)
+
+    def _with_link(cfg: ParallelConfig, link: float) -> ParallelConfig:
+        if cfg.tp == 1 or link == float("inf"):
+            return cfg
+        return ParallelConfig(
+            tp=cfg.tp, pp=cfg.pp, tp_link_gbps=link, tp_efficiency=cfg.tp_efficiency
+        )
+
+    return Placement(
+        prefill_gpus=prefill_gpus,
+        decode_gpus=decode_gpus,
+        prefill_parallel=_with_link(prefill_parallel, p_link),
+        decode_parallel=_with_link(decode_parallel, d_link),
+    )
+
+
+def plan_colocated_placement(
+    topology: NodeTopology,
+    parallel: ParallelConfig,
+    num_replicas: int,
+) -> list[tuple[tuple[int, ...], ParallelConfig]]:
+    """Place ``num_replicas`` colocated (vLLM-style) engine replicas."""
+    taken: set[int] = set()
+    replicas: list[tuple[tuple[int, ...], ParallelConfig]] = []
+    for _ in range(num_replicas):
+        groups = []
+        for _stage in range(parallel.pp):
+            groups += _tp_groups(topology, parallel.tp, 1, taken)
+        gpus = tuple(g for grp in groups for g in grp)
+        link = min(_tp_link_gbps(topology, grp) for grp in groups)
+        cfg = parallel
+        if parallel.tp > 1 and link != float("inf"):
+            cfg = ParallelConfig(
+                tp=parallel.tp,
+                pp=parallel.pp,
+                tp_link_gbps=link,
+                tp_efficiency=parallel.tp_efficiency,
+            )
+        replicas.append((gpus, cfg))
+    return replicas

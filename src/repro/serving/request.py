@@ -1,0 +1,155 @@
+"""Request lifecycle.
+
+A request arrives with a prompt and a (workload-determined) output length.
+The prefill pass produces the first output token; every decode iteration
+produces one more; the request finishes when ``output_tokens`` have been
+generated.  Timestamps recorded along the way feed the TTFT/TPOT metrics
+exactly as the paper defines them: TTFT includes prefill queuing, TPOT
+includes decode queuing, transfer waits, and swap stalls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Phase(enum.Enum):
+    """Where a request currently is in the pipeline."""
+
+    WAITING_PREFILL = "waiting-prefill"
+    PREFILLING = "prefilling"
+    TRANSFERRING = "transferring"
+    WAITING_DECODE = "waiting-decode"
+    DECODING = "decoding"
+    SWAPPED = "swapped"
+    MIGRATING = "migrating"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request and its measured lifecycle."""
+
+    request_id: int
+    prompt_tokens: int
+    output_tokens: int
+    arrival_time: float
+
+    phase: Phase = Phase.WAITING_PREFILL
+    prefilled_tokens: int = 0
+    prefill_required: int = 0  # tokens the (re)prefill must cover; set in __post_init__
+    output_generated: int = 0
+    recompute_count: int = 0
+
+    prefill_start: Optional[float] = None
+    first_token_time: Optional[float] = None
+    decode_queue_enter: Optional[float] = None
+    decode_start: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    swap_out_count: int = 0
+    migration_count: int = 0
+    dispatched_prefill: bool = False  # prefill ran on the decode instance
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 1:
+            raise ValueError("prompt must have at least one token")
+        if self.output_tokens < 1:
+            raise ValueError("output must have at least one token")
+        if self.prefill_required <= 0:
+            self.prefill_required = self.prompt_tokens
+
+    # -- derived state ---------------------------------------------------------
+
+    @property
+    def context_tokens(self) -> int:
+        """Tokens whose KV is live: prompt plus generated output."""
+        return self.prompt_tokens + self.output_generated
+
+    @property
+    def remaining_prefill_tokens(self) -> int:
+        return self.prefill_required - self.prefilled_tokens
+
+    @property
+    def prefill_done(self) -> bool:
+        return self.prefilled_tokens >= self.prefill_required
+
+    @property
+    def is_recomputing(self) -> bool:
+        """True while re-prefilling after a recompute preemption."""
+        return self.recompute_count > 0 and not self.prefill_done
+
+    def reset_for_retry(self) -> None:
+        """Node failure: all server-side progress is lost; the client
+        retries.  The arrival time is preserved — latency metrics charge
+        the failure to the request, as the client experiences it."""
+        self.phase = Phase.WAITING_PREFILL
+        self.prefilled_tokens = 0
+        self.prefill_required = self.prompt_tokens
+        self.output_generated = 0
+        self.prefill_start = None
+        self.first_token_time = None
+        self.decode_queue_enter = None
+        self.decode_start = None
+        self.finish_time = None
+        self.dispatched_prefill = False
+        retries = self.extra.get("retries", 0) + 1
+        self.extra.clear()
+        self.extra["retries"] = retries
+
+    def restart_prefill(self) -> None:
+        """Recompute preemption: drop cached KV and schedule a re-prefill
+        over the full live context (prompt + tokens generated so far)."""
+        self.prefill_required = self.context_tokens
+        self.prefilled_tokens = 0
+        self.recompute_count += 1
+        self.phase = Phase.WAITING_PREFILL
+
+    @property
+    def decode_iterations_remaining(self) -> int:
+        """Decode steps still needed (prefill emits the first output token)."""
+        return self.output_tokens - self.output_generated
+
+    @property
+    def finished(self) -> bool:
+        return self.phase == Phase.FINISHED
+
+    # -- metrics -----------------------------------------------------------------
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Time to first token: arrival -> first token (includes queuing)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Time per output token after the first (includes decode queuing)."""
+        if self.finish_time is None or self.first_token_time is None:
+            return None
+        if self.output_tokens <= 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.output_tokens - 1)
+
+    @property
+    def decode_queue_delay(self) -> Optional[float]:
+        """Time spent between entering the decode queue and first decode step."""
+        if self.decode_queue_enter is None or self.decode_start is None:
+            return None
+        return self.decode_start - self.decode_queue_enter
+
+    @property
+    def end_to_end_latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Request(id={self.request_id}, prompt={self.prompt_tokens}, "
+            f"out={self.output_generated}/{self.output_tokens}, {self.phase.value})"
+        )

@@ -1,0 +1,144 @@
+"""Serving-system base: wires the simulator, topology, transfers, metrics.
+
+A :class:`ServingSystem` owns one or more :class:`~repro.serving.instance.
+Instance` objects and routes requests to them.  Subclasses (the DistServe
+and vLLM baselines, and WindServe itself) define the routing and
+coordination policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.hardware.gpu import GPUSpec, A800_80GB
+from repro.hardware.topology import NodeTopology
+from repro.kvcache.transfer import KVTransferEngine
+from repro.models.spec import ModelSpec
+from repro.serving.instance import Instance, InstanceConfig
+from repro.serving.metrics import SLO, MetricsCollector
+from repro.serving.request import Request
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class SystemConfig:
+    """Common configuration for any serving system."""
+
+    model: ModelSpec
+    gpu: GPUSpec = A800_80GB
+    slo: Optional[SLO] = None
+    instance: InstanceConfig = field(default_factory=InstanceConfig)
+    decode_instance: Optional[InstanceConfig] = None  # falls back to `instance`
+    trace_enabled: bool = False
+
+    @property
+    def decode_instance_config(self) -> InstanceConfig:
+        return self.decode_instance if self.decode_instance is not None else self.instance
+
+
+class ServingSystem:
+    """Base class for simulated LLM serving systems."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topology: Optional[NodeTopology] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim or Simulator()
+        self.topology = topology or NodeTopology(gpu=config.gpu)
+        self.metrics = MetricsCollector()
+        self.transfers = KVTransferEngine(self.sim, self.topology)
+        self.trace = TraceLog(enabled=config.trace_enabled)
+        self.instances: list[Instance] = []
+        self.submitted = 0
+        self.halted = False
+
+    # -- wiring -------------------------------------------------------------
+
+    def register(self, instance: Instance) -> Instance:
+        instance.system = self
+        self.instances.append(instance)
+        return instance
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(len(inst.gpus) for inst in self.instances)
+
+    # -- request flow ----------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Route a newly arrived request.  Subclasses decide where it goes."""
+        raise NotImplementedError
+
+    def on_request_finished(self, request: Request, instance: Instance) -> None:
+        """Hook: a request completed on ``instance``."""
+
+    def on_kv_dropped(self, request: Request, instance: Instance) -> None:
+        """Hook: a restart/reconfiguration lost a request's KV entirely."""
+
+    # -- failure injection -------------------------------------------------------
+
+    def halt(self) -> list[Request]:
+        """Kill this system (node failure): every in-flight request is lost.
+
+        All future callbacks become no-ops; queues and KV are abandoned.
+        Returns the unfinished requests so a higher layer (e.g. a fleet
+        router) can retry them elsewhere.
+        """
+        self.halted = True
+        lost: dict[int, Request] = {}
+        for instance in self.instances:
+            instance.halted = True
+            pools: list = [
+                list(instance.waiting),
+                instance.running_requests,
+                list(instance.swapped),
+                list(getattr(instance, "prefilling", [])),
+            ]
+            assist = getattr(instance, "assist", None)
+            if assist is not None:
+                pools.append(list(assist.queue))
+                if assist.active is not None:
+                    pools.append([assist.active.request])
+            for pool in pools:
+                for request in pool:
+                    if not request.finished:
+                        lost[request.request_id] = request
+        for request in getattr(self, "_handoff", []):
+            if not request.finished:
+                lost[request.request_id] = request
+        # Requests mid-transfer (phase TRANSFERRING) are tracked by their
+        # pending hand-off timestamps; collect anything we submitted that
+        # has not completed and is not already accounted for.
+        return list(lost.values())
+
+    # -- running -------------------------------------------------------------------
+
+    def load_workload(self, requests: Iterable[Request]) -> int:
+        """Schedule arrival events for a batch of requests."""
+        n = 0
+        for request in requests:
+            self.sim.call_at(request.arrival_time, self._arrive, request)
+            n += 1
+        return n
+
+    def _arrive(self, request: Request) -> None:
+        self.submitted += 1
+        self.submit(request)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+        self.metrics.horizon = self.sim.now
+
+    def run_to_completion(self, requests: Iterable[Request]) -> MetricsCollector:
+        """Load a workload, drain it fully, and return the metrics."""
+        self.load_workload(requests)
+        self.sim.run_until_idle()
+        self.metrics.horizon = self.sim.now
+        return self.metrics

@@ -1,0 +1,19 @@
+"""Discrete-event simulation engine.
+
+This package provides the substrate on which the serving systems run: a
+deterministic event loop (:class:`~repro.sim.engine.Simulator`), cancellable
+timers, named seeded random streams, and a structured trace log used by the
+metrics layer.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,156 @@
+"""Deterministic discrete-event simulation core.
+
+The engine is intentionally small: a binary heap of timestamped events, a
+monotonically advancing clock, and cancellable event handles.  Determinism is
+guaranteed by a tie-breaking sequence number, so two events scheduled for the
+same instant always fire in scheduling order regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` (or
+    :meth:`Simulator.call_at`) and may be cancelled before they fire.  A
+    cancelled event stays in the heap but is skipped by the main loop, which
+    is cheaper than a heap delete.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent; no-op if already fired."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled or fired."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, seq={self.seq}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
+class Simulator:
+    """Event-driven simulation clock and scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, my_callback, arg)
+        sim.run(until=100.0)
+
+    Callbacks may schedule further events; the loop drains the heap in
+    timestamp order until it is empty or the horizon is reached.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        return self.call_at(self._now + delay, fn, *args, **kwargs)
+
+    def call_at(self, time: float, fn: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``fn`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before current time t={self._now:.6f}"
+            )
+        event = Event(time, next(self._seq), fn, args, kwargs)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Stops when the heap is empty, when the next event lies beyond
+        ``until``, or after ``max_events`` callbacks.  Returns the clock value
+        at exit.  When stopping at a horizon the clock is advanced to
+        ``until`` so that repeated ``run`` calls compose.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.fired = True
+                event.fn(*event.args, **event.kwargs)
+                self._events_processed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and (
+            not self._heap or self._heap[0].time > until
+        ):
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
+        """Run until no events remain.  ``max_events`` guards runaway loops."""
+        self.run(max_events=max_events)
+        if any(not e.cancelled for e in self._heap):
+            raise SimulationError(f"event budget of {max_events} exhausted")
+        return self._now

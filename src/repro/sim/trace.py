@@ -1,0 +1,75 @@
+"""Structured trace log for simulation runs.
+
+Systems emit :class:`TraceRecord` rows (time, component, tag, payload) while
+running; the metrics layer and the tests consume them afterwards.  Recording
+can be disabled wholesale or filtered by tag to keep long runs cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row."""
+
+    time: float
+    component: str
+    tag: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceRecord` rows.
+
+    ``enabled=False`` turns :meth:`emit` into a no-op.  An optional
+    ``tag_filter`` predicate restricts what gets stored.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tag_filter: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._tag_filter = tag_filter
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: float, component: str, tag: str, **payload: Any) -> None:
+        """Record one row (subject to the enabled flag and tag filter)."""
+        if not self.enabled:
+            return
+        if self._tag_filter is not None and not self._tag_filter(tag):
+            return
+        self._records.append(TraceRecord(time, component, tag, payload))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return self._records
+
+    def filter(
+        self,
+        tag: Optional[str] = None,
+        component: Optional[str] = None,
+    ) -> list[TraceRecord]:
+        """Rows matching the given tag and/or component."""
+        out: Iterable[TraceRecord] = self._records
+        if tag is not None:
+            out = (r for r in out if r.tag == tag)
+        if component is not None:
+            out = (r for r in out if r.component == component)
+        return list(out)
+
+    def count(self, tag: str) -> int:
+        return sum(1 for r in self._records if r.tag == tag)
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,30 @@
+"""Workload generation: length distributions, arrivals, trace containers."""
+
+from repro.workloads.distributions import LengthDistribution, fitted_lognormal
+from repro.workloads.datasets import (
+    DATASET_REGISTRY,
+    DatasetProfile,
+    SHAREGPT,
+    LONGBENCH,
+    get_dataset,
+)
+from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+from repro.workloads.trace import Trace, TraceStats, generate_trace
+from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
+
+__all__ = [
+    "LengthDistribution",
+    "fitted_lognormal",
+    "DATASET_REGISTRY",
+    "DatasetProfile",
+    "SHAREGPT",
+    "LONGBENCH",
+    "get_dataset",
+    "poisson_arrivals",
+    "gamma_arrivals",
+    "Trace",
+    "TraceStats",
+    "generate_trace",
+    "WorkloadPhase",
+    "generate_shifting_trace",
+]

@@ -1,0 +1,59 @@
+"""Synthetic dataset profiles matching the paper's Table 2.
+
+============  ======================  =====================
+dataset       prompt avg/med/P90      output avg/med/P90
+============  ======================  =====================
+ShareGPT      768.2 / 695 / 1556      195.9 / 87 / 518
+LongBench     2890.4 / 2887 / 3792    97.4 / 12 / 369
+============  ======================  =====================
+
+ShareGPT stands in for the chatbot scenario (wide length spread); LongBench
+for summarisation (long prompts, short outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.distributions import LengthDistribution, fitted_lognormal
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Marginal length distributions of one evaluation dataset."""
+
+    name: str
+    prompt: LengthDistribution
+    output: LengthDistribution
+    # The published Table 2 statistics, kept for reporting/validation.
+    prompt_stats: tuple[float, float, float]  # avg, median, p90
+    output_stats: tuple[float, float, float]
+
+
+SHAREGPT = DatasetProfile(
+    name="sharegpt",
+    prompt=fitted_lognormal(median=695, p90=1556, mean=768.2, min_value=4),
+    output=fitted_lognormal(median=87, p90=518, mean=195.9, min_value=1),
+    prompt_stats=(768.2, 695, 1556),
+    output_stats=(195.9, 87, 518),
+)
+
+LONGBENCH = DatasetProfile(
+    name="longbench",
+    prompt=fitted_lognormal(median=2887, p90=3792, mean=2890.4, min_value=64),
+    output=fitted_lognormal(median=12, p90=369, mean=97.4, min_value=1),
+    prompt_stats=(2890.4, 2887, 3792),
+    output_stats=(97.4, 12, 369),
+)
+
+DATASET_REGISTRY: dict[str, DatasetProfile] = {
+    SHAREGPT.name: SHAREGPT,
+    LONGBENCH.name: LONGBENCH,
+}
+
+
+def get_dataset(name: str) -> DatasetProfile:
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASET_REGISTRY)}")
+    return DATASET_REGISTRY[key]

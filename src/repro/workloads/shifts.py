@@ -1,0 +1,81 @@
+"""Time-varying workloads: request-pattern shifts.
+
+The paper's §2.2 argues that DistServe's answer to shifting request
+patterns — replanning the placement — "introduces non-negligible
+stagnation", motivating WindServe's runtime scheduling instead.  To test
+that argument we need traces whose pattern actually shifts: a sequence of
+*phases*, each with its own dataset profile and arrival rate (e.g. a
+chatbot morning turning into a summarisation-heavy afternoon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.spec import ModelSpec
+from repro.serving.request import Request
+from repro.sim.random import RandomStreams
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.datasets import DatasetProfile
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One homogeneous segment of a shifting workload."""
+
+    dataset: DatasetProfile
+    rate: float  # requests/second (total, not per GPU)
+    num_requests: int
+
+
+def generate_shifting_trace(
+    phases: list[WorkloadPhase],
+    seed: int = 0,
+    model: ModelSpec | None = None,
+) -> Trace:
+    """Concatenate phases into one trace; each phase samples its own
+    dataset's lengths and its own Poisson arrivals starting where the
+    previous phase ended."""
+    if not phases:
+        raise ValueError("need at least one phase")
+    streams = RandomStreams(seed)
+    requests: list[Request] = []
+    clock = 0.0
+    next_id = 0
+    for index, phase in enumerate(phases):
+        if phase.rate <= 0 or phase.num_requests < 0:
+            raise ValueError(f"phase {index} has invalid rate/num_requests")
+        arrivals = poisson_arrivals(
+            phase.rate,
+            phase.num_requests,
+            streams.get(f"arrivals-{index}"),
+            start=clock,
+        )
+        prompts = phase.dataset.prompt.sample(
+            streams.get(f"prompts-{index}"), phase.num_requests
+        )
+        outputs = phase.dataset.output.sample(
+            streams.get(f"outputs-{index}"), phase.num_requests
+        )
+        for i in range(phase.num_requests):
+            prompt, output = int(prompts[i]), int(outputs[i])
+            if model is not None:
+                prompt = min(prompt, model.max_context - 2)
+                output = max(1, min(output, model.max_context - prompt))
+            requests.append(
+                Request(
+                    request_id=next_id,
+                    prompt_tokens=prompt,
+                    output_tokens=output,
+                    arrival_time=float(arrivals[i]),
+                )
+            )
+            next_id += 1
+        if len(arrivals):
+            clock = float(arrivals[-1])
+    name = "+".join(f"{p.dataset.name}@{p.rate:g}" for p in phases)
+    mean_rate = sum(p.rate * p.num_requests for p in phases) / max(
+        1, sum(p.num_requests for p in phases)
+    )
+    return Trace(requests, rate=mean_rate, name=f"shift[{name}]")

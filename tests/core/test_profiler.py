@@ -1,0 +1,117 @@
+"""Tests for the Global Scheduler's Profiler regressions (§3.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.hardware.gpu import A800_80GB
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import OPT_13B
+from repro.perf.interference import StreamContentionModel
+from repro.perf.roofline import LatencyModel
+
+
+@pytest.fixture
+def latency() -> LatencyModel:
+    return LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+
+
+@pytest.fixture
+def profiler(latency) -> Profiler:
+    return Profiler(latency)
+
+
+class TestPrefillRegression:
+    def test_fit_tracks_model_within_tolerance(self, profiler, latency):
+        for n in (64, 256, 768, 1536, 2048):
+            predicted = profiler.predict_prefill(n)
+            actual = latency.prefill(n).duration
+            assert predicted == pytest.approx(actual, rel=0.15)
+
+    def test_quadratic_coefficient_positive(self, profiler):
+        """The paper's a_p N + b_p N^2 + c_p form: attention is quadratic."""
+        assert profiler.b_p > 0
+
+    def test_zero_tokens_free(self, profiler):
+        assert profiler.predict_prefill(0) == 0.0
+
+    def test_monotone(self, profiler):
+        assert profiler.predict_prefill(2048) > profiler.predict_prefill(512)
+
+
+class TestDecodeRegression:
+    def test_linear_in_sum_context(self, profiler, latency):
+        for batch, ctx in ((8, 512), (16, 1024), (32, 1024)):
+            predicted = profiler.predict_decode(batch * ctx)
+            actual = latency.decode(batch, batch * ctx).duration
+            assert predicted == pytest.approx(actual, rel=0.35)
+
+    def test_positive_slope(self, profiler):
+        assert profiler.a_d > 0
+
+    def test_zero_context_free(self, profiler):
+        assert profiler.predict_decode(0) == 0.0
+
+
+class TestTTFTPrediction:
+    def test_includes_in_flight_batch(self, profiler):
+        base = profiler.predict_ttft(1000, 500, current_batch_remaining=0.0)
+        busy = profiler.predict_ttft(1000, 500, current_batch_remaining=0.05)
+        assert busy == pytest.approx(base + 0.05)
+
+    def test_token_based_not_request_based(self, profiler):
+        """A queue of few long prompts predicts like many short ones."""
+        assert profiler.predict_ttft(4000, 100, 0.0) == profiler.predict_ttft(
+            2000, 2100, 0.0
+        )
+
+    def test_negative_remaining_clamped(self, profiler):
+        assert profiler.predict_ttft(100, 100, -1.0) == profiler.predict_ttft(100, 100, 0.0)
+
+
+class TestFitQuality:
+    def test_r2_high_for_both_phases(self, profiler):
+        quality = profiler.fit_quality()
+        assert quality["prefill_r2"] > 0.98
+        assert quality["decode_r2"] > 0.90
+
+    def test_mape_small(self, profiler):
+        quality = profiler.fit_quality()
+        assert quality["prefill_mape"] < 0.15
+        assert quality["decode_mape"] < 0.30
+
+    def test_quality_keys(self, profiler):
+        assert set(profiler.fit_quality()) == {
+            "prefill_r2",
+            "prefill_mape",
+            "decode_r2",
+            "decode_mape",
+        }
+
+
+class TestAssistBudget:
+    def test_generous_slo_gives_large_budget(self, profiler):
+        budget = profiler.find_assist_budget(StreamContentionModel(), tpot_slo=10.0)
+        assert budget == OPT_13B.max_context
+
+    def test_impossible_slo_gives_zero(self, profiler):
+        budget = profiler.find_assist_budget(StreamContentionModel(), tpot_slo=1e-6)
+        assert budget == 0
+
+    def test_budget_keeps_sbd_decode_under_slo(self, profiler, latency):
+        scm = StreamContentionModel()
+        ref_ctx = OPT_13B.max_context
+        iso = latency.decode(16, 16 * ref_ctx).duration
+        slo = iso * 1.08  # just above the isolated iteration
+        budget = profiler.find_assist_budget(scm, slo, reference_context=ref_ctx)
+        if budget > 0:
+            assert iso / scm.decode_retention(budget) <= slo + 1e-9
+        if budget < OPT_13B.max_context:
+            assert iso / scm.decode_retention(budget + 1) > slo
+
+    def test_budget_monotone_in_slo(self, profiler):
+        scm = StreamContentionModel()
+        loose = profiler.find_assist_budget(scm, 0.2)
+        tight = profiler.find_assist_budget(scm, 0.03)
+        assert loose >= tight

@@ -1,0 +1,138 @@
+"""Tests for dynamic rescheduling and stall-free migration (§3.2.2/§3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WindServeConfig
+from repro.models.registry import get_model
+from repro.serving.request import Phase
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+from tests.core.test_windserve import make_system, request
+
+
+def pressured_system(**kwargs):
+    """Decode-bound setup ([TP-2 -> TP-1], tiny decode KV pool)."""
+    return make_system(decode_tp=1, kv_override=4096, **kwargs)
+
+
+def run_pressured(system, rate=10.0, n=150, seed=5):
+    model = get_model("opt-13b")
+    trace = generate_trace(SHAREGPT, rate=rate, num_requests=n, seed=seed, model=model)
+    return system.run_to_completion(trace)
+
+
+class TestTrigger:
+    def test_no_migration_without_pressure(self):
+        system = make_system()  # plentiful decode KV
+        run_pressured(system, rate=6.0, n=80)
+        assert system.metrics.counters.get("reschedule_started", 0) == 0
+
+    def test_pressure_triggers_migrations(self):
+        system = pressured_system()
+        run_pressured(system)
+        assert system.metrics.counters.get("reschedule_started", 0) >= 1
+
+    def test_migrations_stop_above_stop_fraction(self):
+        """After a reschedule wave, free blocks recover above the watermark."""
+        system = pressured_system()
+        run_pressured(system)
+        kv = system.decode_instance.kv
+        assert kv.used_gpu_blocks == 0  # drained
+
+
+class TestStallFreeProperty:
+    def test_request_keeps_decoding_during_bulk_leg(self):
+        system = pressured_system()
+        model = get_model("opt-13b")
+        trace = generate_trace(SHAREGPT, rate=10.0, num_requests=150, seed=5, model=model)
+        system.load_workload(trace)
+
+        progress: dict[int, list[int]] = {}
+
+        def watch():
+            for state in system.migrations.active.values():
+                if state.leg == 1:
+                    progress.setdefault(state.request.request_id, []).append(
+                        state.request.output_generated
+                    )
+            if system.sim.pending_events:
+                system.sim.schedule(0.005, watch)
+
+        system.sim.schedule(0.0, watch)
+        system.sim.run_until_idle()
+        decoded_during_bulk = [
+            rid for rid, counts in progress.items() if len(set(counts)) > 1
+        ]
+        assert decoded_during_bulk, "no request decoded during its bulk transfer"
+
+    def test_migrated_request_completes_with_correct_token_count(self):
+        system = pressured_system()
+        metrics = run_pressured(system)
+        migrated = [r for r in metrics.completed if r.migration_count > 0]
+        assert migrated
+        for r in migrated:
+            assert r.output_generated == r.output_tokens
+
+    def test_abort_on_finish_during_bulk(self):
+        """Requests finishing mid-migration must not leak prefill KV."""
+        system = pressured_system()
+        run_pressured(system, rate=12.0, n=200, seed=11)
+        # Whether or not aborts happened, accounting must balance.
+        assert system.prefill_instance.kv.used_gpu_blocks == 0
+        assert system.decode_instance.kv.used_gpu_blocks == 0
+
+
+class TestPolicy:
+    def test_longest_context_first(self):
+        """WindServe migrates the longest-context requests (contrast: Llumnix
+        migrates short ones).  Deterministic check on a hand-built state."""
+        system = pressured_system()
+        decode = system.decode_instance
+        contexts = [100, 700, 300, 500, 200]
+        for i, ctx in enumerate(contexts):
+            r = request(i, prompt=ctx, output=50)
+            r.prefilled_tokens = ctx
+            r.output_generated = 1
+            decode.kv.allocate(i, r.context_tokens)
+            decode.start_decoding(r)
+        # Exhaust the rest of the pool so free fraction < watermark.
+        filler = 9999
+        free = decode.kv.free_gpu_tokens
+        if free > 0:
+            decode.kv.allocate(filler, free)
+        system.maybe_reschedule()
+        migrating = set(system.migrations.active)
+        assert migrating, "rescheduling did not trigger"
+        chosen = sorted(contexts, reverse=True)[: len(migrating)]
+        assert {contexts[i] for i in migrating if i < len(contexts)} == set(chosen)
+
+    def test_disabled_rescheduling_swaps_instead(self):
+        on = pressured_system()
+        m_on = run_pressured(on)
+        off = pressured_system(ws_config=WindServeConfig(rescheduling_enabled=False))
+        m_off = run_pressured(off)
+        assert m_off.counters.get("swap_out", 0) > m_on.counters.get("swap_out", 0)
+
+    def test_rescheduling_improves_tpot_under_memory_pressure(self):
+        """The Fig. 13b ablation, at test scale."""
+        on = pressured_system()
+        m_on = run_pressured(on)
+        off = pressured_system(ws_config=WindServeConfig(rescheduling_enabled=False))
+        m_off = run_pressured(off)
+        assert m_on.tpot_stats().p99 < m_off.tpot_stats().p99
+
+
+class TestBackupsInteraction:
+    def test_backed_up_requests_migrate_cheaply(self):
+        """A backup shrinks the bulk leg to (context - prompt) tokens."""
+        system = pressured_system(
+            ws_config=WindServeConfig(backup_min_prompt_tokens=128)
+        )
+        run_pressured(system, seed=9)
+        kept = system.metrics.counters.get("backup_kept", 0)
+        completed = system.metrics.counters.get("reschedule_completed", 0)
+        assert kept >= 0 and completed >= 0  # smoke: both paths run without leaks
+        assert system.prefill_instance.kv.used_gpu_blocks == 0

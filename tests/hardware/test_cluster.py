@@ -1,0 +1,115 @@
+"""Tests for the multi-node cluster topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cluster import ClusterTopology
+from repro.hardware.gpu import GB
+from repro.hardware.interconnect import LinkType
+
+
+@pytest.fixture
+def cluster() -> ClusterTopology:
+    return ClusterTopology(num_nodes=2)
+
+
+class TestIdMapping:
+    def test_global_gpu_count(self, cluster):
+        assert cluster.num_gpus == 16
+
+    def test_node_and_local_ids(self, cluster):
+        assert cluster.node_of(0) == 0 and cluster.node_of(8) == 1
+        assert cluster.local_id(11) == 3
+
+    def test_global_numa_unique_across_nodes(self, cluster):
+        numas = {cluster.numa_of(g) for g in range(cluster.num_gpus)}
+        assert numas == {0, 1, 2, 3}
+
+    def test_out_of_range_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.node_of(16)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=0)
+
+
+class TestPaths:
+    def test_intra_node_paths_delegate(self, cluster):
+        path = cluster.path(8, 9)  # node 1's NVLink pair
+        assert [l.link_type for l in path.links] == [LinkType.NVLINK_BRIDGE]
+
+    def test_cross_node_path_uses_nics(self, cluster):
+        path = cluster.path(0, 8)
+        kinds = [l.link_type for l in path.links]
+        assert kinds.count(LinkType.RDMA_NIC) == 2
+        assert kinds[0] == LinkType.PCIE_SWITCH and kinds[-1] == LinkType.PCIE_SWITCH
+
+    def test_cross_node_slower_than_cross_numa(self, cluster):
+        cross_numa = cluster.path(0, 4).transfer_duration(GB)
+        cross_node = cluster.path(0, 8).transfer_duration(GB)
+        assert cross_node > cross_numa
+
+    def test_nvlink_peer_global_ids(self, cluster):
+        assert cluster.nvlink_peer(8) == 9
+        assert cluster.nvlink_peer(15) == 14
+
+    def test_nic_contention_shared_per_node(self, cluster):
+        a = cluster.path(0, 8).reserve(0.0, GB)
+        b = cluster.path(2, 10).reserve(0.0, GB)
+        assert b.start >= a.finish - 1e-12
+
+    def test_all_links_includes_nics(self, cluster):
+        kinds = [l.link_type for l in cluster.all_links()]
+        assert kinds.count(LinkType.RDMA_NIC) == 2
+
+    def test_host_path_local(self, cluster):
+        path = cluster.host_path(12)
+        assert len(path.links) == 1
+        assert path.links[0].link_type == LinkType.PCIE_SWITCH
+
+
+class TestPlacementOverCluster:
+    def test_pd_placement_spans_cluster(self, cluster):
+        from repro.models.parallelism import ParallelConfig
+        from repro.serving.placement import plan_pd_placement
+
+        placement = plan_pd_placement(
+            cluster, ParallelConfig(tp=2, pp=4), ParallelConfig(tp=2, pp=4)
+        )
+        used = set(placement.prefill_gpus) | set(placement.decode_gpus)
+        assert len(used) == 16
+        # Every TP-2 group still sits on an NVLink pair.
+        for grp_start in range(0, len(placement.prefill_gpus), 2):
+            a, b = placement.prefill_gpus[grp_start : grp_start + 2]
+            assert cluster.nvlink_peer(a) == b
+
+
+class TestEndToEndAcrossNodes:
+    def test_distserve_runs_with_cross_node_transfers(self):
+        """Prefill on node 0, decode on node 1: hand-offs ride the NICs."""
+        from repro.baselines.distserve import DistServeSystem
+        from repro.models.parallelism import ParallelConfig
+        from repro.models.registry import get_model
+        from repro.serving.placement import Placement
+        from repro.serving.system import SystemConfig
+        from repro.workloads.datasets import SHAREGPT
+        from repro.workloads.trace import generate_trace
+
+        cluster = ClusterTopology(num_nodes=2, gpus_per_node=2)
+        placement = Placement(
+            prefill_gpus=(0, 1),
+            decode_gpus=(2, 3),
+            prefill_parallel=ParallelConfig(tp=2),
+            decode_parallel=ParallelConfig(tp=2),
+        )
+        model = get_model("opt-13b")
+        system = DistServeSystem(
+            SystemConfig(model=model), placement=placement, topology=cluster
+        )
+        trace = generate_trace(SHAREGPT, rate=4.0, num_requests=60, seed=0, model=model)
+        metrics = system.run_to_completion(trace)
+        assert len(metrics.completed) == 60
+        assert cluster.nic(0).bytes_transferred > 0
+        assert cluster.nic(1).bytes_transferred > 0

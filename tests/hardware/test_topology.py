@@ -1,0 +1,132 @@
+"""Tests for the Fig. 9 node topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpu import RTX_4090, GB
+from repro.hardware.interconnect import LinkType
+from repro.hardware.topology import NodeTopology
+
+
+class TestStructure:
+    def test_default_is_8_gpu_two_numa(self):
+        topo = NodeTopology()
+        assert topo.num_gpus == 8
+        assert topo.numa_nodes == 2
+        assert topo.gpus_per_numa == 4
+
+    def test_numa_assignment(self):
+        topo = NodeTopology()
+        assert [topo.numa_of(g) for g in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_nvlink_pairs_are_adjacent_evens(self):
+        topo = NodeTopology()
+        assert topo.nvlink_peer(0) == 1
+        assert topo.nvlink_peer(1) == 0
+        assert topo.nvlink_peer(6) == 7
+
+    def test_no_nvlink_without_bridge(self):
+        topo = NodeTopology(gpu=RTX_4090)
+        assert all(topo.nvlink_peer(g) is None for g in range(topo.num_gpus))
+
+    def test_invalid_gpu_id_rejected(self):
+        topo = NodeTopology()
+        with pytest.raises(ValueError):
+            topo.numa_of(8)
+        with pytest.raises(ValueError):
+            topo.path(0, 99)
+
+    def test_uneven_numa_split_rejected(self):
+        with pytest.raises(ValueError):
+            NodeTopology(num_gpus=6, numa_nodes=4)
+
+    def test_all_links_enumerated(self):
+        topo = NodeTopology()
+        links = topo.all_links()
+        # 4 NVLink bridges + 2 PCIe switches + 1 root complex
+        assert len(links) == 7
+
+
+class TestPaths:
+    def test_self_path_is_free(self):
+        topo = NodeTopology()
+        path = topo.path(3, 3)
+        assert path.transfer_duration(GB) == 0.0
+
+    def test_nvlink_pair_uses_bridge(self):
+        topo = NodeTopology()
+        path = topo.path(0, 1)
+        assert len(path.links) == 1
+        assert path.links[0].link_type == LinkType.NVLINK_BRIDGE
+
+    def test_same_numa_uses_pcie_switch(self):
+        topo = NodeTopology()
+        path = topo.path(0, 2)
+        assert [l.link_type for l in path.links] == [LinkType.PCIE_SWITCH]
+
+    def test_cross_numa_goes_through_root_complex(self):
+        topo = NodeTopology()
+        path = topo.path(0, 4)
+        kinds = [l.link_type for l in path.links]
+        assert kinds == [
+            LinkType.PCIE_SWITCH,
+            LinkType.ROOT_COMPLEX,
+            LinkType.PCIE_SWITCH,
+        ]
+
+    def test_cross_numa_slower_than_intra_numa(self):
+        topo = NodeTopology()
+        intra = topo.path(0, 2).transfer_duration(GB)
+        cross = topo.path(0, 4).transfer_duration(GB)
+        assert cross > intra
+
+    def test_nvlink_fastest(self):
+        topo = NodeTopology()
+        assert topo.path(0, 1).transfer_duration(GB) < topo.path(0, 2).transfer_duration(GB)
+
+    def test_path_is_symmetric_in_duration(self):
+        topo = NodeTopology()
+        assert topo.path(2, 5).transfer_duration(GB) == pytest.approx(
+            topo.path(5, 2).transfer_duration(GB)
+        )
+
+    def test_host_path_uses_numa_switch(self):
+        topo = NodeTopology()
+        path = topo.host_path(5)
+        assert len(path.links) == 1
+        assert path.links[0] is topo.path(4, 6).links[0]
+
+
+class TestPathReservation:
+    def test_shared_switch_contends(self):
+        """Two transfers in the same NUMA serialize on the shared PCIe switch."""
+        topo = NodeTopology()
+        first = topo.path(0, 2).reserve(0.0, GB)
+        second = topo.path(1, 3).reserve(0.0, GB)
+        assert second.start >= first.finish - 1e-12
+
+    def test_nvlink_pairs_do_not_contend_with_each_other(self):
+        topo = NodeTopology()
+        a = topo.path(0, 1).reserve(0.0, GB)
+        b = topo.path(2, 3).reserve(0.0, GB)
+        assert a.start == 0.0 and b.start == 0.0
+
+    def test_swap_contends_with_kv_transfers(self):
+        """Host swap traffic and instance transfers share the PCIe switch —
+        the Fig. 1 contention."""
+        topo = NodeTopology()
+        swap = topo.host_path(0).reserve(0.0, GB)
+        kv = topo.path(1, 2).reserve(0.0, GB)
+        assert kv.start >= swap.finish - 1e-12
+
+    def test_empty_path_reserve_is_instant(self):
+        topo = NodeTopology()
+        res = topo.path(4, 4).reserve(3.0, GB)
+        assert res.start == res.finish == 3.0
+
+    def test_bottleneck_bandwidth_is_min_over_links(self):
+        topo = NodeTopology()
+        cross = topo.path(0, 4)
+        slowest = min(l.effective_bytes_per_s for l in cross.links)
+        assert cross.bottleneck_bytes_per_s == slowest

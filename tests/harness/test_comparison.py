@@ -1,0 +1,56 @@
+"""Tests for side-by-side comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.comparison import compare_systems
+from repro.harness.runner import ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    spec = ExperimentSpec(
+        system="windserve",
+        model="opt-13b",
+        dataset="sharegpt",
+        rate_per_gpu=4.0,
+        num_requests=200,
+        seed=8,
+    )
+    return compare_systems(spec, systems=("windserve", "distserve"))
+
+
+class TestComparison:
+    def test_summaries_per_system(self, comparison):
+        assert set(comparison.summaries) == {"windserve", "distserve"}
+
+    def test_headline_ratio_direction(self, comparison):
+        assert comparison.ratio("ttft_p50", "windserve", "distserve") > 1.0
+
+    def test_self_ratio_is_one(self, comparison):
+        assert comparison.ratio("ttft_p50", "windserve", "windserve") == pytest.approx(1.0)
+
+    def test_improvement_row_shape(self, comparison):
+        row = comparison.improvement_row("windserve", "distserve")
+        assert row["system"] == "windserve"
+        assert "ttft_p50 ratio" in row and "slo delta" in row
+        assert row["slo delta"] > 0
+
+    def test_rows_cover_metrics(self, comparison):
+        rows = comparison.rows()
+        assert len(rows) == 2
+        assert {"ttft_p50", "tpot_p99", "slo_attainment"} <= set(rows[0]) - {"system"}
+
+    def test_empty_systems_rejected(self):
+        spec = ExperimentSpec(
+            system="windserve", model="opt-13b", dataset="sharegpt",
+            rate_per_gpu=1.0, num_requests=10,
+        )
+        with pytest.raises(ValueError):
+            compare_systems(spec, systems=())
+
+    def test_zero_denominator_gives_inf(self, comparison):
+        comparison.summaries["fake"] = dict(comparison.summaries["windserve"])
+        comparison.summaries["fake"]["ttft_p50"] = 0.0
+        assert comparison.ratio("ttft_p50", "fake", "distserve") == float("inf")

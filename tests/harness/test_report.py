@@ -1,0 +1,45 @@
+"""Tests for tabular reporting."""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "0.123" in out
+
+    def test_column_selection_and_order(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        out = format_table(rows, columns=["z", "x"])
+        header = out.splitlines()[0].split()
+        assert header == ["z", "x"]
+        assert "y" not in out
+
+    def test_missing_values_dash(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in out.splitlines()[2]
+
+    def test_nan_rendered(self):
+        out = format_table([{"a": float("nan")}])
+        assert "nan" in out
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="Table 9")
+        assert out.splitlines()[0] == "Table 9"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_precision(self):
+        out = format_table([{"a": 1.23456}], precision=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_alignment_consistent(self):
+        rows = [{"name": "short", "v": 1}, {"name": "much-longer-name", "v": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])

@@ -1,0 +1,106 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.distserve import DistServeSystem
+from repro.baselines.vllm import VLLMSystem
+from repro.core.windserve import WindServeSystem
+from repro.harness.runner import ExperimentSpec, build_system, run_experiment, sweep_rates
+
+
+def spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        system="windserve",
+        model="opt-13b",
+        dataset="sharegpt",
+        rate_per_gpu=3.0,
+        num_requests=60,
+        seed=0,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_gpus_used(self):
+        s = spec(prefill_parallel=(2, 1), decode_parallel=(2, 2))
+        assert s.gpus_used == 6
+
+    def test_with_rate_and_system_return_new_specs(self):
+        s = spec()
+        assert s.with_rate(9.0).rate_per_gpu == 9.0
+        assert s.with_system("vllm").system == "vllm"
+        assert s.rate_per_gpu == 3.0  # original untouched
+
+
+class TestBuildSystem:
+    def test_builds_each_system_type(self):
+        assert isinstance(build_system(spec(system="windserve")), WindServeSystem)
+        assert isinstance(build_system(spec(system="distserve")), DistServeSystem)
+        assert isinstance(build_system(spec(system="vllm")), VLLMSystem)
+
+    def test_ablation_variants_configure_windserve(self):
+        no_split = build_system(spec(system="windserve-no-split"))
+        assert not no_split.ws_config.sbd_enabled
+        no_resche = build_system(spec(system="windserve-no-resche"))
+        assert not no_resche.ws_config.rescheduling_enabled
+        static = build_system(spec(system="windserve-static"))
+        assert not static.ws_config.dispatch_enabled
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            build_system(spec(system="tgi"))
+
+    def test_vllm_replica_count_matches_gpu_budget(self):
+        system = build_system(spec(system="vllm", decode_parallel=(2, 1)))
+        assert isinstance(system, VLLMSystem)
+        assert system.num_gpus == 4  # 2 replicas x TP-2
+
+
+class TestRunExperiment:
+    def test_summary_has_headline_metrics(self):
+        result = run_experiment(spec())
+        for key in ("ttft_p50", "ttft_p99", "tpot_p90", "tpot_p99", "slo_attainment"):
+            assert key in result.summary
+            assert not math.isnan(result.summary[key])
+
+    def test_all_requests_complete(self):
+        result = run_experiment(spec())
+        assert result.summary["completed"] >= 0.9 * 60  # warm-up trimmed
+
+    def test_deterministic(self):
+        a = run_experiment(spec())
+        b = run_experiment(spec())
+        assert a.summary == b.summary
+
+    def test_seed_changes_results(self):
+        a = run_experiment(spec(seed=1))
+        b = run_experiment(spec(seed=2))
+        assert a.summary["ttft_p50"] != b.summary["ttft_p50"]
+
+    def test_utilization_reported_per_instance(self):
+        result = run_experiment(spec())
+        assert "prefill" in result.utilization
+        assert "decode" in result.utilization
+        for entry in result.utilization.values():
+            assert 0.0 <= entry["compute"] <= 1.0
+            assert 0.0 <= entry["memory_bw"] <= 1.0
+
+    def test_row_is_flat(self):
+        row = run_experiment(spec()).row()
+        assert row["system"] == "windserve"
+        assert isinstance(row["ttft_p50"], float)
+
+
+class TestSweep:
+    def test_sweep_runs_every_rate(self):
+        results = sweep_rates(spec(num_requests=40), [1.0, 3.0])
+        assert [r.spec.rate_per_gpu for r in results] == [1.0, 3.0]
+
+    def test_latency_degrades_with_rate(self):
+        results = sweep_rates(spec(system="distserve", num_requests=150), [1.0, 6.0])
+        assert results[1].summary["ttft_p50"] > results[0].summary["ttft_p50"]

@@ -1,0 +1,69 @@
+"""Tests for SLO derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.slo import (
+    PAPER_SLOS,
+    average_context_tokens,
+    derive_slo,
+    paper_slo,
+    ttft_tpot_ratio,
+)
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.workloads.datasets import LONGBENCH, SHAREGPT
+
+
+class TestPaperSLOs:
+    def test_table4_values(self):
+        slo = paper_slo(get_model("opt-13b"), SHAREGPT)
+        assert (slo.ttft, slo.tpot) == (0.25, 0.1)
+        slo = paper_slo(get_model("llama2-70b"), LONGBENCH)
+        assert (slo.ttft, slo.tpot) == (15.0, 0.5)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            paper_slo(get_model("opt-125m"), SHAREGPT)
+
+    def test_all_four_pairs_present(self):
+        assert len(PAPER_SLOS) == 4
+
+
+class TestDerivation:
+    def test_tpot_is_four_decode_iterations(self):
+        from repro.hardware.gpu import A800_80GB
+        from repro.perf.roofline import LatencyModel
+
+        model = get_model("opt-13b")
+        parallel = ParallelConfig(tp=2)
+        slo = derive_slo(model, SHAREGPT, parallel)
+        ctx = average_context_tokens(SHAREGPT, model)
+        iteration = LatencyModel(model, A800_80GB, parallel).decode(16, 16 * ctx).duration
+        assert slo.tpot == pytest.approx(4 * iteration)
+
+    def test_ttft_ratio_matches_paper(self):
+        model = get_model("opt-13b")
+        slo = derive_slo(model, SHAREGPT, ParallelConfig(tp=2))
+        assert slo.ttft / slo.tpot == pytest.approx(0.25 / 0.1)
+
+    def test_longbench_ttft_far_more_generous(self):
+        """Summarisation tolerates slow first tokens (long prompts)."""
+        l13 = derive_slo(get_model("llama2-13b"), LONGBENCH, ParallelConfig(tp=2))
+        o13 = derive_slo(get_model("opt-13b"), SHAREGPT, ParallelConfig(tp=2))
+        assert l13.ttft / l13.tpot > o13.ttft / o13.tpot
+
+    def test_unknown_pair_uses_default_ratio(self):
+        model = get_model("opt-125m")
+        assert ttft_tpot_ratio(model, SHAREGPT) == 5.0
+
+    def test_bigger_model_looser_slo(self):
+        small = derive_slo(get_model("opt-13b"), SHAREGPT, ParallelConfig(tp=2))
+        big = derive_slo(get_model("opt-66b"), SHAREGPT, ParallelConfig(tp=2, pp=2))
+        assert big.tpot > small.tpot
+
+    def test_average_context_clamped_by_model_window(self):
+        model = get_model("opt-13b")
+        ctx = average_context_tokens(LONGBENCH, model)
+        assert ctx <= model.max_context

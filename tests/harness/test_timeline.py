@@ -1,0 +1,104 @@
+"""Tests for the text timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.timeline import busy_fractions, render_timeline, sparkline
+from repro.sim.trace import TraceLog
+
+
+class TestSparkline:
+    def test_extremes(self):
+        assert sparkline([0.0, 1.0]) == " █"
+
+    def test_length_matches_input(self):
+        assert len(sparkline([0.5] * 17)) == 17
+
+    def test_out_of_range_clamped(self):
+        assert sparkline([-1.0, 2.0]) == " █"
+
+    def test_monotone_values_monotone_glyphs(self):
+        glyphs = sparkline([i / 8 for i in range(9)])
+        assert list(glyphs) == sorted(glyphs, key=" ▁▂▃▄▅▆▇█".index)
+
+
+class TestBusyFractions:
+    def make_trace(self) -> TraceLog:
+        trace = TraceLog()
+        # One batch covering [0, 1), another [3, 4) on a 4-second horizon.
+        trace.emit(0.0, "decode", "batch-start", duration=1.0)
+        trace.emit(3.0, "decode", "batch-start", duration=1.0)
+        return trace
+
+    def test_bins_capture_activity(self):
+        fractions = busy_fractions(self.make_trace(), "decode", horizon=4.0, bins=4)
+        assert fractions == pytest.approx([1.0, 0.0, 0.0, 1.0])
+
+    def test_batch_spanning_bins_splits(self):
+        trace = TraceLog()
+        trace.emit(0.5, "x", "batch-start", duration=1.0)
+        fractions = busy_fractions(trace, "x", horizon=2.0, bins=2)
+        assert fractions == pytest.approx([0.5, 0.5])
+
+    def test_component_filtering(self):
+        trace = self.make_trace()
+        assert busy_fractions(trace, "prefill", horizon=4.0, bins=4) == [0, 0, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            busy_fractions(TraceLog(), "x", horizon=0.0)
+
+    def test_fraction_capped_at_one(self):
+        trace = TraceLog()
+        trace.emit(0.0, "x", "batch-start", duration=5.0)
+        trace.emit(0.0, "x", "batch-start", duration=5.0)  # overlapping lanes
+        assert max(busy_fractions(trace, "x", horizon=5.0, bins=5)) == 1.0
+
+
+class TestRenderTimeline:
+    def run_system(self):
+        from repro.hardware.topology import NodeTopology
+        from repro.core.windserve import WindServeSystem
+        from repro.models.registry import get_model
+        from repro.serving.metrics import SLO
+        from repro.serving.system import SystemConfig
+        from repro.workloads.datasets import SHAREGPT
+        from repro.workloads.trace import generate_trace
+
+        model = get_model("opt-13b")
+        system = WindServeSystem(
+            SystemConfig(model=model, slo=SLO(0.25, 0.1), trace_enabled=True),
+            topology=NodeTopology(num_gpus=4),
+        )
+        trace = generate_trace(SHAREGPT, rate=14.0, num_requests=120, seed=4, model=model)
+        system.run_to_completion(trace)
+        return system
+
+    def test_report_contains_both_instances(self):
+        report = render_timeline(self.run_system(), bins=30)
+        text = str(report)
+        assert "prefill" in text and "decode" in text
+        assert "busy" in text
+
+    def test_busy_series_lengths(self):
+        report = render_timeline(self.run_system(), bins=25)
+        for series in report.busy.values():
+            assert len(series) == 25
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_dispatch_events_surface(self):
+        report = render_timeline(self.run_system())
+        assert report.events.get("dispatch", 0) > 0
+
+    def test_untracked_system_rejected(self):
+        from repro.hardware.topology import NodeTopology
+        from repro.baselines.distserve import DistServeSystem
+        from repro.models.registry import get_model
+        from repro.serving.system import SystemConfig
+
+        system = DistServeSystem(
+            SystemConfig(model=get_model("opt-13b")), topology=NodeTopology(num_gpus=4)
+        )
+        with pytest.raises(ValueError, match="no trace records"):
+            render_timeline(system)

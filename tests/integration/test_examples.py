@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples must keep running.
+
+Full example runs are benchmark-sized; here we import each script (which
+must be side-effect-free) and execute the cheapest one end-to-end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert {
+            "quickstart.py",
+            "chatbot_sharegpt.py",
+            "summarization_longbench.py",
+            "bottleneck_aware.py",
+            "placement_planner.py",
+            "heterogeneous_cluster.py",
+            "workload_shift.py",
+            "latency_breakdown.py",
+            "fleet_serving.py",
+        } <= set(ALL_EXAMPLES)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_imports_cleanly(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), f"{name} has no main()"
+        assert module.__doc__, f"{name} is undocumented"
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "SLO attainment" in out
+        assert "dispatched" in out

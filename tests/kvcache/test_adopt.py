@@ -1,0 +1,57 @@
+"""Tests for allocation adoption (reconfiguration hand-over)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.memory import OutOfMemoryError
+from repro.kvcache.blocks import BlockLocation, KVBlockManager
+
+
+def manager(gpu_tokens=256, cpu_tokens=128) -> KVBlockManager:
+    return KVBlockManager(gpu_tokens, cpu_tokens, block_size=16, bytes_per_token=8.0)
+
+
+class TestAdopt:
+    def test_adopt_gpu(self):
+        kv = manager()
+        alloc = kv.adopt(1, 100, BlockLocation.GPU)
+        assert alloc.location == BlockLocation.GPU
+        assert kv.used_gpu_blocks == kv.blocks_for(100)
+        assert kv.tokens_of(1) == 100
+
+    def test_adopt_cpu(self):
+        kv = manager()
+        kv.adopt(1, 100, BlockLocation.CPU)
+        assert kv.used_gpu_blocks == 0
+        assert kv.get(1).location == BlockLocation.CPU
+
+    def test_adopt_duplicate_rejected(self):
+        kv = manager()
+        kv.adopt(1, 10, BlockLocation.GPU)
+        with pytest.raises(ValueError):
+            kv.adopt(1, 10, BlockLocation.CPU)
+
+    def test_adopt_respects_capacity(self):
+        kv = manager(gpu_tokens=64)
+        with pytest.raises(OutOfMemoryError):
+            kv.adopt(1, 100, BlockLocation.GPU)
+
+    def test_adopted_cpu_allocation_swaps_in(self):
+        kv = manager()
+        kv.adopt(1, 48, BlockLocation.CPU)
+        assert kv.can_swap_in(1)
+        kv.swap_in(1)
+        assert kv.get(1).location == BlockLocation.GPU
+
+    def test_adopted_gpu_allocation_extends(self):
+        kv = manager()
+        kv.adopt(1, 48, BlockLocation.GPU)
+        kv.extend(1, 16)
+        assert kv.tokens_of(1) == 64
+
+    def test_free_cpu_blocks_accounting(self):
+        kv = manager(cpu_tokens=160)
+        before = kv.free_cpu_blocks
+        kv.adopt(1, 64, BlockLocation.CPU)
+        assert kv.free_cpu_blocks == before - kv.blocks_for(64)

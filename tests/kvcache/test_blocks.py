@@ -1,0 +1,198 @@
+"""Tests for the paged KV block manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.memory import OutOfMemoryError
+from repro.kvcache.blocks import BlockLocation, KVBlockManager
+
+
+def manager(gpu_tokens: int = 1024, cpu_tokens: int = 512, block: int = 16) -> KVBlockManager:
+    return KVBlockManager(
+        gpu_capacity_tokens=gpu_tokens,
+        cpu_capacity_tokens=cpu_tokens,
+        block_size=block,
+        bytes_per_token=100.0,
+    )
+
+
+class TestAllocation:
+    def test_blocks_for_rounds_up(self):
+        kv = manager()
+        assert kv.blocks_for(1) == 1
+        assert kv.blocks_for(16) == 1
+        assert kv.blocks_for(17) == 2
+
+    def test_allocate_reserves_blocks(self):
+        kv = manager()
+        alloc = kv.allocate(1, 33)
+        assert alloc.blocks == 3
+        assert kv.used_gpu_blocks == 3
+
+    def test_double_allocate_rejected(self):
+        kv = manager()
+        kv.allocate(1, 10)
+        with pytest.raises(ValueError):
+            kv.allocate(1, 10)
+
+    def test_allocation_capacity_enforced(self):
+        kv = manager(gpu_tokens=64)
+        with pytest.raises(OutOfMemoryError):
+            kv.allocate(1, 65)
+
+    def test_can_allocate(self):
+        kv = manager(gpu_tokens=64)
+        assert kv.can_allocate(64)
+        assert not kv.can_allocate(65)
+
+    def test_free_returns_blocks(self):
+        kv = manager()
+        kv.allocate(1, 100)
+        kv.free(1)
+        assert kv.used_gpu_blocks == 0
+        assert not kv.has(1)
+
+    def test_free_unknown_is_noop(self):
+        manager().free(42)
+
+    def test_bytes_of(self):
+        kv = manager()
+        kv.allocate(1, 50)
+        assert kv.bytes_of(1) == 5000
+        assert kv.bytes_of(99) == 0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            KVBlockManager(100, 100, 0, 1.0)
+
+
+class TestExtension:
+    def test_extend_within_block_is_free(self):
+        kv = manager()
+        kv.allocate(1, 10)
+        before = kv.used_gpu_blocks
+        kv.extend(1, 5)
+        assert kv.used_gpu_blocks == before
+        assert kv.tokens_of(1) == 15
+
+    def test_extend_across_block_boundary(self):
+        kv = manager()
+        kv.allocate(1, 16)
+        kv.extend(1, 1)
+        assert kv.used_gpu_blocks == 2
+
+    def test_extend_unknown_allocates(self):
+        kv = manager()
+        kv.extend(7, 10)
+        assert kv.tokens_of(7) == 10
+
+    def test_can_extend_accounts_for_partial_block(self):
+        kv = manager(gpu_tokens=32)
+        kv.allocate(1, 30)  # 2 blocks, 2 tokens slack
+        assert kv.can_extend(1, 2)
+        assert not kv.can_extend(1, 3)
+
+    def test_extend_swapped_request_rejected(self):
+        kv = manager()
+        kv.allocate(1, 16)
+        kv.swap_out(1)
+        with pytest.raises(ValueError):
+            kv.extend(1, 1)
+
+
+class TestSwap:
+    def test_swap_out_moves_blocks_to_cpu(self):
+        kv = manager()
+        kv.allocate(1, 64)
+        nbytes = kv.swap_out(1)
+        assert nbytes == 6400
+        assert kv.used_gpu_blocks == 0
+        assert kv.get(1).location == BlockLocation.CPU
+
+    def test_swap_out_twice_rejected(self):
+        kv = manager()
+        kv.allocate(1, 16)
+        kv.swap_out(1)
+        with pytest.raises(ValueError):
+            kv.swap_out(1)
+
+    def test_swap_in_restores(self):
+        kv = manager()
+        kv.allocate(1, 64)
+        kv.swap_out(1)
+        nbytes = kv.swap_in(1)
+        assert nbytes == 6400
+        assert kv.get(1).location == BlockLocation.GPU
+        assert kv.used_gpu_blocks == 4
+
+    def test_swap_in_requires_gpu_space(self):
+        kv = manager(gpu_tokens=64)
+        kv.allocate(1, 64)
+        kv.swap_out(1)
+        kv.allocate(2, 64)
+        assert not kv.can_swap_in(1)
+
+    def test_swap_in_resident_rejected(self):
+        kv = manager()
+        kv.allocate(1, 16)
+        with pytest.raises(ValueError):
+            kv.swap_in(1)
+
+    def test_cpu_pool_capacity_enforced(self):
+        kv = manager(gpu_tokens=1024, cpu_tokens=32)
+        kv.allocate(1, 64)
+        with pytest.raises(OutOfMemoryError):
+            kv.swap_out(1)
+
+    def test_free_swapped_request_releases_cpu(self):
+        kv = manager()
+        kv.allocate(1, 64)
+        kv.swap_out(1)
+        kv.free(1)
+        kv.allocate(2, 512)  # CPU pool untouched; GPU fully available
+        assert kv.used_gpu_blocks == kv.blocks_for(512)
+
+    def test_residents_filtering(self):
+        kv = manager()
+        kv.allocate(1, 16)
+        kv.allocate(2, 16)
+        kv.swap_out(2)
+        assert [a.request_id for a in kv.residents(BlockLocation.GPU)] == [1]
+        assert [a.request_id for a in kv.residents(BlockLocation.CPU)] == [2]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "extend", "free", "swap_out", "swap_in"]),
+            st.integers(0, 5),  # request id
+            st.integers(1, 100),  # tokens
+        ),
+        max_size=80,
+    )
+)
+def test_property_block_accounting_invariants(ops):
+    """Total GPU blocks used always equals the sum of GPU-resident
+    allocations, and never exceeds capacity."""
+    kv = manager(gpu_tokens=640, cpu_tokens=640)
+    for op, rid, tokens in ops:
+        try:
+            if op == "alloc":
+                kv.allocate(rid, tokens)
+            elif op == "extend":
+                kv.extend(rid, tokens)
+            elif op == "free":
+                kv.free(rid)
+            elif op == "swap_out":
+                kv.swap_out(rid)
+            else:
+                kv.swap_in(rid)
+        except (ValueError, KeyError, OutOfMemoryError):
+            pass
+        gpu_blocks = sum(a.blocks for a in kv.residents(BlockLocation.GPU))
+        assert kv.used_gpu_blocks == gpu_blocks
+        assert kv.used_gpu_blocks <= kv.gpu_capacity_blocks
+        for alloc in kv.residents(BlockLocation.GPU) + kv.residents(BlockLocation.CPU):
+            assert alloc.blocks == kv.blocks_for(alloc.tokens)

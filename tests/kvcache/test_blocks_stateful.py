@@ -1,0 +1,128 @@
+"""Stateful property testing of the KV block manager.
+
+Hypothesis drives random operation sequences against a reference model of
+the manager (plain dicts), checking the two stay equivalent and the pool
+invariants hold at every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.hardware.memory import OutOfMemoryError
+from repro.kvcache.blocks import BlockLocation, KVBlockManager
+
+GPU_TOKENS = 2048
+CPU_TOKENS = 1024
+BLOCK = 16
+
+
+class KVMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.kv = KVBlockManager(
+            gpu_capacity_tokens=GPU_TOKENS,
+            cpu_capacity_tokens=CPU_TOKENS,
+            block_size=BLOCK,
+            bytes_per_token=10.0,
+        )
+        # Reference model: request_id -> (tokens, location)
+        self.model: dict[int, tuple[int, str]] = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def model_gpu_blocks(self) -> int:
+        return sum(
+            -(-tokens // BLOCK) for tokens, loc in self.model.values() if loc == "gpu"
+        )
+
+    def model_cpu_blocks(self) -> int:
+        return sum(
+            -(-tokens // BLOCK) for tokens, loc in self.model.values() if loc == "cpu"
+        )
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(rid=st.integers(0, 15), tokens=st.integers(1, 600))
+    def allocate(self, rid, tokens):
+        try:
+            self.kv.allocate(rid, tokens)
+            assert rid not in self.model
+            self.model[rid] = (tokens, "gpu")
+        except ValueError:
+            assert rid in self.model
+        except OutOfMemoryError:
+            needed = -(-tokens // BLOCK)
+            assert needed > self.kv.gpu_capacity_blocks - self.model_gpu_blocks()
+
+    @rule(rid=st.integers(0, 15), tokens=st.integers(1, 64))
+    def extend(self, rid, tokens):
+        entry = self.model.get(rid)
+        try:
+            self.kv.extend(rid, tokens)
+            if entry is None:
+                self.model[rid] = (tokens, "gpu")
+            else:
+                assert entry[1] == "gpu"
+                self.model[rid] = (entry[0] + tokens, "gpu")
+        except ValueError:
+            assert entry is not None and entry[1] == "cpu"
+        except OutOfMemoryError:
+            pass  # growth denied; state unchanged
+
+    @rule(rid=st.integers(0, 15))
+    def free(self, rid):
+        self.kv.free(rid)
+        self.model.pop(rid, None)
+
+    @precondition(lambda self: any(loc == "gpu" for _, loc in self.model.values()))
+    @rule(data=st.data())
+    def swap_out(self, data):
+        gpu_ids = [rid for rid, (_, loc) in self.model.items() if loc == "gpu"]
+        rid = data.draw(st.sampled_from(gpu_ids))
+        tokens = self.model[rid][0]
+        try:
+            nbytes = self.kv.swap_out(rid)
+            assert nbytes == int(tokens * 10.0)
+            self.model[rid] = (tokens, "cpu")
+        except OutOfMemoryError:
+            needed = -(-tokens // BLOCK)
+            assert needed > self.kv.cpu_capacity_blocks - self.model_cpu_blocks()
+
+    @precondition(lambda self: any(loc == "cpu" for _, loc in self.model.values()))
+    @rule(data=st.data())
+    def swap_in(self, data):
+        cpu_ids = [rid for rid, (_, loc) in self.model.items() if loc == "cpu"]
+        rid = data.draw(st.sampled_from(cpu_ids))
+        tokens = self.model[rid][0]
+        if self.kv.can_swap_in(rid):
+            self.kv.swap_in(rid)
+            self.model[rid] = (tokens, "gpu")
+        else:
+            needed = -(-tokens // BLOCK)
+            assert needed > self.kv.free_gpu_blocks
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def block_accounting_matches_model(self):
+        assert self.kv.used_gpu_blocks == self.model_gpu_blocks()
+        assert self.kv.gpu_capacity_blocks - self.kv.free_gpu_blocks == self.model_gpu_blocks()
+
+    @invariant()
+    def tokens_match_model(self):
+        for rid, (tokens, loc) in self.model.items():
+            assert self.kv.tokens_of(rid) == tokens
+            expected = BlockLocation.GPU if loc == "gpu" else BlockLocation.CPU
+            assert self.kv.get(rid).location == expected
+
+    @invariant()
+    def no_phantom_allocations(self):
+        live = {a.request_id for a in self.kv.residents(BlockLocation.GPU)}
+        live |= {a.request_id for a in self.kv.residents(BlockLocation.CPU)}
+        assert live == set(self.model)
+
+
+KVMachine.TestCase.settings = settings(max_examples=40, stateful_step_count=60, deadline=None)
+TestKVStateMachine = KVMachine.TestCase

@@ -1,0 +1,129 @@
+"""Tests for the Table 1 cost formulas."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.costs import (
+    attn_flops_decode,
+    attn_flops_prefill,
+    ffn_flops_decode,
+    ffn_flops_prefill,
+    layer_flops_prefill_extend,
+    layer_io_bytes_decode,
+    layer_io_bytes_prefill,
+    layer_io_bytes_prefill_extend,
+    model_flops_decode,
+    model_flops_prefill,
+)
+from repro.models.registry import LLAMA2_70B, OPT_13B
+
+
+class TestTable1ReductionForOPT:
+    """For OPT specs (MHA, ffn=4H) the general formulas must reduce exactly
+    to the paper's Table 1 expressions."""
+
+    def test_attn_prefill_is_8nh2_plus_4n2h(self):
+        h, n = OPT_13B.hidden_size, 777
+        assert attn_flops_prefill(OPT_13B, n) == 8 * n * h**2 + 4 * n**2 * h
+
+    def test_attn_decode_is_8bh2_plus_4slh(self):
+        h, b, sum_l = OPT_13B.hidden_size, 16, 16 * 1000
+        assert attn_flops_decode(OPT_13B, b, sum_l) == 8 * b * h**2 + 4 * sum_l * h
+
+    def test_ffn_prefill_is_16nh2(self):
+        h, n = OPT_13B.hidden_size, 777
+        assert ffn_flops_prefill(OPT_13B, n) == 16 * n * h**2
+
+    def test_ffn_decode_is_16bh2(self):
+        h, b = OPT_13B.hidden_size, 32
+        assert ffn_flops_decode(OPT_13B, b) == 16 * b * h**2
+
+    def test_decode_io_has_24h2_weight_term(self):
+        """Per-layer decode weights for OPT: 12H^2 params x 2 bytes = 24H^2."""
+        h = OPT_13B.hidden_size
+        io = layer_io_bytes_decode(OPT_13B, 0, 0)
+        assert io == pytest.approx(24 * h**2, rel=1e-9)
+
+
+class TestGQAGeneralisation:
+    def test_gqa_lowers_attn_projection_flops(self):
+        full = 8 * 100 * LLAMA2_70B.hidden_size**2
+        actual = attn_flops_prefill(LLAMA2_70B, 100) - 4 * 100**2 * LLAMA2_70B.hidden_size
+        assert actual < full
+
+    def test_gqa_lowers_decode_io(self):
+        """The paper notes GQA shrinks KV reads and transfer sizes."""
+        mha_like = LLAMA2_70B.kv_bytes_per_token_per_layer * LLAMA2_70B.num_heads / LLAMA2_70B.num_kv_heads
+        assert LLAMA2_70B.kv_bytes_per_token_per_layer < mha_like
+
+    def test_score_flops_unchanged_by_gqa(self):
+        """All query heads still attend: the 4N^2H term is GQA-independent."""
+        h, n = LLAMA2_70B.hidden_size, 64
+        proj = 2 * n * LLAMA2_70B.attn_params_per_layer
+        assert attn_flops_prefill(LLAMA2_70B, n) - proj == 4 * n * n * h
+
+
+class TestScaling:
+    def test_prefill_flops_superlinear(self):
+        t1 = model_flops_prefill(OPT_13B, 1024)
+        t2 = model_flops_prefill(OPT_13B, 2048)
+        assert t2 > 2 * t1  # quadratic attention term
+
+    def test_decode_flops_linear_in_batch(self):
+        """Doubling (batch, context) doubles every decode FLOP term."""
+        a = model_flops_decode(OPT_13B, 1, 1000)
+        b = model_flops_decode(OPT_13B, 2, 2000)
+        assert b == pytest.approx(2 * a, rel=1e-9)
+
+    def test_decode_io_grows_with_context(self):
+        assert layer_io_bytes_decode(OPT_13B, 16, 32000) > layer_io_bytes_decode(
+            OPT_13B, 16, 16000
+        )
+
+    def test_prefill_io_dominated_by_weights_for_small_n(self):
+        io = layer_io_bytes_prefill(OPT_13B, 1)
+        assert io == pytest.approx(OPT_13B.weight_bytes_per_layer, rel=0.01)
+
+
+class TestChunkedExtend:
+    def test_extend_with_zero_prior_close_to_plain_prefill(self):
+        """First chunk == plain prefill modulo the causal-vs-full score count."""
+        n = 512
+        plain_proj_ffn = 2 * n * (OPT_13B.attn_params_per_layer + OPT_13B.ffn_params_per_layer)
+        extend = layer_flops_prefill_extend(OPT_13B, n, 0)
+        assert extend == plain_proj_ffn + 4 * n * n * OPT_13B.hidden_size
+
+    def test_extend_flops_grow_with_prior_context(self):
+        assert layer_flops_prefill_extend(OPT_13B, 512, 1536) > layer_flops_prefill_extend(
+            OPT_13B, 512, 0
+        )
+
+    def test_extend_io_rereads_prior_kv(self):
+        with_prior = layer_io_bytes_prefill_extend(OPT_13B, 512, 1536)
+        without = layer_io_bytes_prefill_extend(OPT_13B, 512, 0)
+        assert with_prior - without == pytest.approx(
+            1536 * OPT_13B.kv_bytes_per_token_per_layer
+        )
+
+    def test_chunked_io_exceeds_single_shot(self):
+        """Chunking re-streams weights every chunk: total IO must exceed the
+        single-pass prefill IO — the cost that makes chunked prefill slow."""
+        total_chunked = sum(
+            layer_io_bytes_prefill_extend(OPT_13B, 512, 512 * i) for i in range(4)
+        )
+        single = layer_io_bytes_prefill(OPT_13B, 2048)
+        assert total_chunked > single
+
+
+@given(n=st.integers(1, 4096))
+def test_property_prefill_flops_positive_and_monotonic(n):
+    a = model_flops_prefill(OPT_13B, n)
+    b = model_flops_prefill(OPT_13B, n + 1)
+    assert 0 < a < b
+
+
+@given(b=st.integers(1, 256), ctx=st.integers(1, 2048))
+def test_property_decode_flops_positive(b, ctx):
+    assert model_flops_decode(OPT_13B, b, b * ctx) > 0

@@ -1,0 +1,87 @@
+"""Tests for the model registry: published architecture facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.registry import (
+    GLM_130B,
+    GPT3_13B,
+    GPT3_175B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    MODEL_REGISTRY,
+    OPT_13B,
+    OPT_66B,
+    get_model,
+)
+
+
+class TestPublishedArchitectures:
+    @pytest.mark.parametrize(
+        "model,expected_billions,tolerance",
+        [
+            (OPT_13B, 13.0, 0.8),
+            (OPT_66B, 66.0, 3.0),
+            (LLAMA2_13B, 13.0, 0.8),
+            (LLAMA2_70B, 70.0, 3.0),
+        ],
+    )
+    def test_parameter_counts_match_names(self, model, expected_billions, tolerance):
+        billions = model.total_params / 1e9
+        assert abs(billions - expected_billions) <= tolerance
+
+    def test_opt_context_is_2k(self):
+        assert OPT_13B.max_context == 2048
+
+    def test_llama2_context_is_4k(self):
+        """Paper's reason for using LLaMA2 on LongBench: 4K vs OPT's 2K."""
+        assert LLAMA2_13B.max_context == 4096
+
+    def test_only_llama70b_uses_gqa(self):
+        """Paper §5.2: LLaMA2-70B uses GQA; the other evaluated models MHA."""
+        assert LLAMA2_70B.uses_gqa
+        assert not LLAMA2_13B.uses_gqa
+        assert not OPT_13B.uses_gqa
+        assert not OPT_66B.uses_gqa
+
+    def test_opt13b_shape(self):
+        assert (OPT_13B.num_layers, OPT_13B.hidden_size, OPT_13B.num_heads) == (40, 5120, 40)
+
+    def test_opt_ffn_is_4h(self):
+        assert OPT_13B.ffn_dim == 4 * OPT_13B.hidden_size
+        assert OPT_13B.ffn_matrices == 2
+
+    def test_llama_swiglu(self):
+        assert LLAMA2_70B.ffn_matrices == 3
+        assert LLAMA2_70B.ffn_dim == 28672
+
+
+class TestIntroFamilies:
+    """The paper's intro cites GPT and GLM alongside LLaMA."""
+
+    def test_gpt3_parameter_counts(self):
+        assert GPT3_13B.total_params / 1e9 == pytest.approx(13.0, rel=0.08)
+        assert GPT3_175B.total_params / 1e9 == pytest.approx(175.0, rel=0.05)
+
+    def test_glm130b_parameter_count(self):
+        assert GLM_130B.total_params / 1e9 == pytest.approx(130.0, rel=0.08)
+
+    def test_intro_models_are_mha(self):
+        assert not GPT3_175B.uses_gqa
+        assert not GLM_130B.uses_gqa
+
+
+class TestLookup:
+    def test_registry_has_full_families(self):
+        assert len([n for n in MODEL_REGISTRY if n.startswith("opt")]) == 8
+        assert len([n for n in MODEL_REGISTRY if n.startswith("llama2")]) == 3
+        assert len([n for n in MODEL_REGISTRY if n.startswith("gpt3")]) == 3
+        assert "glm-130b" in MODEL_REGISTRY
+
+    def test_case_insensitive(self):
+        assert get_model("OPT-13B") is OPT_13B
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("gpt-5")

@@ -1,0 +1,85 @@
+"""Property tests: the latency model must be monotone in its inputs.
+
+Schedulers reason by comparison ("would adding this chunk make the pass
+slower?"), so monotonicity violations would silently corrupt decisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.gpu import A800_80GB
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import OPT_13B
+from repro.perf.interference import StreamContentionModel
+from repro.perf.roofline import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def lm() -> LatencyModel:
+    return LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+
+
+model = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+scm = StreamContentionModel()
+
+
+@settings(max_examples=40)
+@given(n=st.integers(1, 2040), delta=st.integers(1, 64))
+def test_prefill_monotone_in_tokens(n, delta):
+    assert model.prefill(n + delta).duration > model.prefill(n).duration
+
+
+@settings(max_examples=40)
+@given(b=st.integers(1, 120), ctx=st.integers(16, 2048), delta=st.integers(1, 8))
+def test_decode_monotone_in_batch(b, ctx, delta):
+    base = model.decode(b, b * ctx).duration
+    bigger = model.decode(b + delta, (b + delta) * ctx).duration
+    assert bigger >= base
+
+
+@settings(max_examples=40)
+@given(b=st.integers(1, 120), ctx=st.integers(16, 1024), delta=st.integers(1, 512))
+def test_decode_monotone_in_context(b, ctx, delta):
+    assert model.decode(b, b * (ctx + delta)).duration >= model.decode(b, b * ctx).duration
+
+
+@settings(max_examples=40)
+@given(
+    chunk=st.integers(1, 512),
+    prior=st.integers(0, 1500),
+    b=st.integers(0, 64),
+    ctx=st.integers(16, 1024),
+)
+def test_hybrid_at_least_decode_alone(chunk, prior, b, ctx):
+    hybrid = model.hybrid(chunk, b, b * ctx, prefill_prior_context=prior).duration
+    decode_alone = model.decode(b, b * ctx).duration
+    assert hybrid >= decode_alone - 1e-12
+
+
+@settings(max_examples=40)
+@given(p=st.integers(1, 2048), b=st.integers(1, 64), ctx=st.integers(16, 1024))
+def test_sbd_never_speeds_either_phase(p, b, ctx):
+    out = scm.sbd(model, p, b, b * ctx)
+    assert out.prefill_duration >= out.prefill_isolated - 1e-12
+    assert out.decode_iteration >= out.decode_isolated - 1e-12
+
+
+@settings(max_examples=30)
+@given(p=st.integers(1, 2048), delta=st.integers(1, 256))
+def test_decode_retention_monotone(p, delta):
+    assert scm.decode_retention(p + delta) <= scm.decode_retention(p)
+
+
+@settings(max_examples=20)
+@given(
+    n=st.integers(64, 2048),
+    chunk_small=st.integers(16, 256),
+    factor=st.integers(2, 8),
+)
+def test_smaller_chunks_never_cheaper_total(n, chunk_small, factor):
+    chunk_big = chunk_small * factor
+    small_total, _, _ = scm.chunked_prefill(model, n, chunk_small, 16, 16 * 1024)
+    big_total, _, _ = scm.chunked_prefill(model, n, chunk_big, 16, 16 * 1024)
+    assert small_total >= big_total - 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the roofline latency model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.gpu import A800_80GB
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import LLAMA2_70B, OPT_13B, OPT_66B
+from repro.perf.roofline import LatencyModel, gemm_saturation
+
+
+@pytest.fixture
+def lm() -> LatencyModel:
+    return LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+
+
+class TestRegimes:
+    def test_prefill_is_compute_bound(self, lm):
+        assert lm.prefill(2048).compute_bound
+
+    def test_decode_is_io_bound(self, lm):
+        """The paper's core premise: decode is bandwidth-bound."""
+        assert not lm.decode(16, 16 * 1024).compute_bound
+
+    def test_empty_batches_are_free(self, lm):
+        assert lm.prefill(0).duration == 0.0
+        assert lm.decode(0, 0).duration == 0.0
+
+    def test_prefill_superlinear_in_tokens(self, lm):
+        """Quadratic attention + saturation: t(2N) > 2 t(N) - overheads."""
+        t1, t2 = lm.prefill(1024).duration, lm.prefill(2048).duration
+        assert t2 > 1.8 * t1
+
+    def test_decode_linear_in_context(self, lm):
+        t1 = lm.decode(16, 16 * 512).duration
+        t2 = lm.decode(16, 16 * 2048).duration
+        assert t2 > t1
+
+    def test_decode_batching_amortizes_weights(self, lm):
+        """Per-request decode cost drops sharply with batch size."""
+        single = lm.decode(1, 1024).duration
+        batched = lm.decode(16, 16 * 1024).duration
+        assert batched < 4 * single
+
+
+class TestAbsoluteCalibration:
+    """Anchor checks against paper-implied magnitudes (loose bands)."""
+
+    def test_opt13b_decode_iteration_tens_of_ms(self, lm):
+        ms = lm.decode(16, 16 * 964).duration * 1e3
+        assert 8 <= ms <= 40
+
+    def test_opt13b_prefill_under_ttft_slo(self, lm):
+        assert lm.prefill(768).duration < 0.25  # Table 4 TTFT SLO
+
+    def test_opt66b_fits_tp2pp2(self):
+        lm66 = LatencyModel(OPT_66B, A800_80GB, ParallelConfig(tp=2, pp=2))
+        ms = lm66.decode(16, 16 * 964).duration * 1e3
+        assert 20 <= ms <= 120
+
+    def test_llama70b_prefill_2048_sub_2s(self):
+        lm70 = LatencyModel(LLAMA2_70B, A800_80GB, ParallelConfig(tp=2, pp=2))
+        assert 0.3 <= lm70.prefill(2048).duration <= 2.0
+
+
+class TestParallelismEffects:
+    def test_tp2_faster_than_tp1(self):
+        tp1 = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=1))
+        tp2 = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+        assert tp2.prefill(2048).duration < tp1.prefill(2048).duration
+        assert tp2.decode(16, 16 * 1024).duration < tp1.decode(16, 16 * 1024).duration
+
+    def test_tp2_below_perfect_scaling(self):
+        tp1 = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=1))
+        tp2 = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+        assert tp2.prefill(2048).duration > tp1.prefill(2048).duration / 2
+
+    def test_pipeline_slots_equal_pp(self):
+        assert LatencyModel(OPT_13B, A800_80GB, ParallelConfig(pp=2)).pipeline_slots() == 2
+
+
+class TestHybrid:
+    def test_hybrid_reduces_to_parts(self, lm):
+        d = lm.decode(16, 16 * 1024)
+        assert lm.hybrid(0, 16, 16 * 1024).duration == d.duration
+        p = lm.prefill_extend(512, 0)
+        assert lm.hybrid(512, 0, 0).duration == p.duration
+
+    def test_hybrid_slower_than_either_part(self, lm):
+        h = lm.hybrid(512, 16, 16 * 1024).duration
+        assert h > lm.prefill_extend(512, 0).duration * 0.95
+        assert h > lm.decode(16, 16 * 1024).duration
+
+    def test_hybrid_grows_with_prior_context(self, lm):
+        early = lm.hybrid(512, 16, 16 * 1024, prefill_prior_context=0).duration
+        late = lm.hybrid(512, 16, 16 * 1024, prefill_prior_context=1536).duration
+        assert late > early
+
+    def test_prefill_extend_last_chunk_most_expensive(self, lm):
+        chunks = [lm.prefill_extend(512, 512 * i).duration for i in range(4)]
+        assert chunks == sorted(chunks)
+
+
+class TestGemmSaturation:
+    def test_monotone_in_tokens(self):
+        assert gemm_saturation(64) < gemm_saturation(512) < gemm_saturation(4096)
+
+    def test_bounds(self):
+        assert 0 < gemm_saturation(1) < 1
+        assert gemm_saturation(0) == 1.0
+        assert gemm_saturation(10**9) == pytest.approx(1.0, abs=1e-3)
+
+
+@settings(max_examples=30)
+@given(n=st.integers(1, 4096))
+def test_property_prefill_timing_consistent(n):
+    lm = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+    t = lm.prefill(n)
+    assert t.duration >= max(t.compute_time, t.io_time)
+    assert t.comm_time >= 0
+
+
+@settings(max_examples=30)
+@given(b=st.integers(1, 128), ctx=st.integers(1, 2048))
+def test_property_decode_timing_consistent(b, ctx):
+    lm = LatencyModel(OPT_13B, A800_80GB, ParallelConfig(tp=2))
+    t = lm.decode(b, b * ctx)
+    assert t.duration >= max(t.compute_time, t.io_time)
+    assert t.duration > 0

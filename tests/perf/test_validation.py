@@ -1,0 +1,64 @@
+"""Tests for latency-model validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpu import A800_80GB
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.perf.roofline import LatencyModel
+from repro.perf.validation import ValidationPoint, validate_profiler
+
+
+@pytest.fixture(scope="module")
+def report():
+    latency = LatencyModel(get_model("opt-13b"), A800_80GB, ParallelConfig(tp=2))
+    return validate_profiler(latency)
+
+
+class TestValidationPoint:
+    def test_relative_error(self):
+        p = ValidationPoint("prefill", 100, 1, actual=0.1, predicted=0.11)
+        assert p.relative_error == pytest.approx(0.1)
+
+    def test_zero_actual_guard(self):
+        p = ValidationPoint("prefill", 0, 1, actual=0.0, predicted=0.0)
+        assert p.relative_error == 0.0
+
+
+class TestReport:
+    def test_grid_covered(self, report):
+        phases = {p.phase for p in report.points}
+        assert phases == {"prefill", "decode"}
+        assert report.summary()["points"] == 12
+
+    def test_profiler_accuracy_acceptable(self, report):
+        """The Global Scheduler's oracle must be trustworthy across the grid."""
+        summary = report.summary()
+        assert summary["prefill_mape"] < 0.12
+        assert summary["decode_mape"] < 0.25
+        assert summary["prefill_worst"] < 0.5
+
+    def test_rows_shape(self, report):
+        rows = report.rows()
+        assert len(rows) == len(report.points)
+        assert {"phase", "tokens", "batch", "error %"} <= set(rows[0])
+
+    def test_mape_phase_filtering(self, report):
+        overall = report.mape()
+        assert min(report.mape("prefill"), report.mape("decode")) <= overall
+        assert overall <= max(report.mape("prefill"), report.mape("decode"))
+
+    @pytest.mark.parametrize(
+        "model,parallel",
+        [
+            ("opt-66b", ParallelConfig(tp=2, pp=2)),
+            ("llama2-70b", ParallelConfig(tp=2, pp=2)),
+        ],
+    )
+    def test_accuracy_holds_for_big_models(self, model, parallel):
+        latency = LatencyModel(get_model(model), A800_80GB, parallel)
+        summary = validate_profiler(latency).summary()
+        assert summary["prefill_mape"] < 0.15
+        assert summary["decode_mape"] < 0.3

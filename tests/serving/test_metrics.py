@@ -1,0 +1,119 @@
+"""Tests for metrics aggregation and SLO attainment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.serving.metrics import SLO, LatencyStats, MetricsCollector, percentile
+from repro.serving.request import Request
+
+
+def finished_request(rid, ttft, tpot, output_tokens=11, arrival=0.0) -> Request:
+    r = Request(rid, prompt_tokens=10, output_tokens=output_tokens, arrival_time=arrival)
+    r.first_token_time = arrival + ttft
+    r.finish_time = r.first_token_time + tpot * (output_tokens - 1)
+    return r
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_value(self):
+        assert percentile([4.0], 99) == 4.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    @given(values=st.lists(st.floats(0, 1e6), min_size=1, max_size=100))
+    def test_property_bounded_by_extremes(self, values):
+        for q in (50, 90, 99):
+            p = percentile(values, q)
+            assert min(values) <= p <= max(values)
+
+
+class TestLatencyStats:
+    def test_from_values(self):
+        stats = LatencyStats.from_values([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_empty(self):
+        stats = LatencyStats.from_values([])
+        assert stats.count == 0
+        assert math.isnan(stats.p99)
+
+
+class TestSLO:
+    def test_met_requires_both(self):
+        slo = SLO(ttft=1.0, tpot=0.1)
+        good = finished_request(1, ttft=0.5, tpot=0.05)
+        bad_ttft = finished_request(2, ttft=2.0, tpot=0.05)
+        bad_tpot = finished_request(3, ttft=0.5, tpot=0.2)
+        assert slo.met_by(good)
+        assert not slo.met_by(bad_ttft)
+        assert not slo.met_by(bad_tpot)
+
+    def test_unfinished_never_meets(self):
+        slo = SLO(ttft=1.0, tpot=0.1)
+        assert not slo.met_by(Request(1, 10, 10, 0.0))
+
+    def test_component_attainment(self):
+        slo = SLO(ttft=1.0, tpot=0.1)
+        r = finished_request(1, ttft=0.5, tpot=0.5)
+        assert slo.ttft_met_by(r)
+        assert not slo.tpot_met_by(r)
+
+
+class TestCollector:
+    def test_slo_attainment_fraction(self):
+        m = MetricsCollector()
+        slo = SLO(ttft=1.0, tpot=0.1)
+        for i in range(8):
+            m.record_completion(finished_request(i, ttft=0.5, tpot=0.05))
+        for i in range(8, 10):
+            m.record_completion(finished_request(i, ttft=5.0, tpot=0.05))
+        assert m.slo_attainment(slo) == pytest.approx(0.8)
+
+    def test_empty_attainment_is_nan(self):
+        assert math.isnan(MetricsCollector().slo_attainment(SLO(1, 1)))
+
+    def test_counters(self):
+        m = MetricsCollector()
+        m.bump("swap_out")
+        m.bump("swap_out", 2)
+        assert m.counters["swap_out"] == 3
+
+    def test_utilization_accumulation(self):
+        m = MetricsCollector()
+        m.record_batch("prefill", duration=1.0, compute_time=0.8, io_time=0.3, lanes=1)
+        m.record_batch("prefill", duration=1.0, compute_time=0.6, io_time=0.2, lanes=1)
+        sample = m.utilization["prefill"]
+        assert sample.compute_utilization(elapsed=4.0) == pytest.approx(0.35)
+        assert sample.io_utilization(elapsed=4.0) == pytest.approx(0.125)
+
+    def test_utilization_capped_at_one(self):
+        m = MetricsCollector()
+        m.record_batch("x", 1.0, compute_time=10.0, io_time=10.0, lanes=1)
+        assert m.utilization["x"].compute_utilization(1.0) == 1.0
+
+    def test_zero_elapsed_utilization(self):
+        m = MetricsCollector()
+        m.record_batch("x", 1.0, 1.0, 1.0, lanes=1)
+        assert m.utilization["x"].compute_utilization(0.0) == 0.0
+
+    def test_summary_keys(self):
+        m = MetricsCollector()
+        m.record_completion(finished_request(1, ttft=0.5, tpot=0.05))
+        summary = m.summary(SLO(1.0, 0.1))
+        for key in ("ttft_p50", "ttft_p99", "tpot_p90", "tpot_p99", "slo_attainment"):
+            assert key in summary
+
+    def test_lanes_divide_utilization(self):
+        m = MetricsCollector()
+        m.record_batch("pp2", 1.0, compute_time=1.0, io_time=0.0, lanes=2)
+        assert m.utilization["pp2"].compute_utilization(1.0) == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Tests for placement planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.topology import NodeTopology
+from repro.models.parallelism import ParallelConfig
+from repro.serving.placement import (
+    PlacementError,
+    plan_colocated_placement,
+    plan_pd_placement,
+)
+
+
+class TestPDPlacement:
+    def test_tp2_tp2_uses_nvlink_pairs(self):
+        topo = NodeTopology(num_gpus=4)
+        p = plan_pd_placement(topo, ParallelConfig(tp=2), ParallelConfig(tp=2))
+        assert set(p.prefill_gpus) == {0, 1}
+        assert set(p.decode_gpus) == {2, 3}
+
+    def test_tp2_groups_get_nvlink_bandwidth(self):
+        topo = NodeTopology(num_gpus=8)
+        p = plan_pd_placement(topo, ParallelConfig(tp=2), ParallelConfig(tp=2))
+        assert p.prefill_parallel.tp_link_gbps > 100  # NVLink, not PCIe
+
+    def test_tp2_tp1(self):
+        topo = NodeTopology(num_gpus=4)
+        p = plan_pd_placement(topo, ParallelConfig(tp=2), ParallelConfig(tp=1))
+        assert len(p.prefill_gpus) == 2
+        assert len(p.decode_gpus) == 1
+        assert not set(p.prefill_gpus) & set(p.decode_gpus)
+
+    def test_pp2_stages_alternate_for_numa_adjacency(self):
+        """The [TP-2,PP-2 | TP-2,PP-2] OPT-66B placement must keep prefill
+        and decode stages NUMA-adjacent so transfers avoid the root complex."""
+        topo = NodeTopology(num_gpus=8)
+        p = plan_pd_placement(
+            topo, ParallelConfig(tp=2, pp=2), ParallelConfig(tp=2, pp=2)
+        )
+        assert len(p.prefill_gpus) == 4 and len(p.decode_gpus) == 4
+        # Each NUMA node hosts GPUs of both instances.
+        prefill_numas = {topo.numa_of(g) for g in p.prefill_gpus}
+        decode_numas = {topo.numa_of(g) for g in p.decode_gpus}
+        assert prefill_numas == {0, 1}
+        assert decode_numas == {0, 1}
+
+    def test_no_gpu_double_assignment(self):
+        topo = NodeTopology(num_gpus=8)
+        p = plan_pd_placement(topo, ParallelConfig(tp=2, pp=2), ParallelConfig(tp=2, pp=2))
+        all_gpus = list(p.prefill_gpus) + list(p.decode_gpus)
+        assert len(all_gpus) == len(set(all_gpus)) == 8
+
+    def test_oversubscription_rejected(self):
+        topo = NodeTopology(num_gpus=4)
+        with pytest.raises(PlacementError):
+            plan_pd_placement(topo, ParallelConfig(tp=2, pp=2), ParallelConfig(tp=2, pp=2))
+
+    def test_label(self):
+        topo = NodeTopology(num_gpus=4)
+        p = plan_pd_placement(topo, ParallelConfig(tp=2), ParallelConfig(tp=1))
+        assert "TP-2" in p.label() and "TP-1" in p.label()
+
+
+class TestColocatedPlacement:
+    def test_two_tp2_replicas(self):
+        topo = NodeTopology(num_gpus=4)
+        replicas = plan_colocated_placement(topo, ParallelConfig(tp=2), 2)
+        assert len(replicas) == 2
+        gpus = [g for r, _ in replicas for g in r]
+        assert sorted(gpus) == [0, 1, 2, 3]
+
+    def test_replica_parallel_gets_link_bandwidth(self):
+        topo = NodeTopology(num_gpus=4)
+        replicas = plan_colocated_placement(topo, ParallelConfig(tp=2), 2)
+        for _, cfg in replicas:
+            assert cfg.tp_link_gbps > 100
+
+    def test_too_many_replicas_rejected(self):
+        topo = NodeTopology(num_gpus=4)
+        with pytest.raises(PlacementError):
+            plan_colocated_placement(topo, ParallelConfig(tp=2), 3)

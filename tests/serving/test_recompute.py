@@ -1,0 +1,129 @@
+"""Tests for recompute-mode preemption (vLLM's alternative to swapping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.vllm import VLLMSystem
+from repro.hardware.topology import NodeTopology
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.instance import InstanceConfig
+from repro.serving.request import Request
+
+
+def make_system(mode: str, kv_override: int = 2048) -> VLLMSystem:
+    from repro.serving.system import SystemConfig
+
+    topo = NodeTopology(num_gpus=4)
+    cfg = SystemConfig(
+        model=get_model("opt-13b"),
+        instance=InstanceConfig(
+            preemption_mode=mode, kv_capacity_override_tokens=kv_override
+        ),
+    )
+    return VLLMSystem(cfg, parallel=ParallelConfig(tp=2), num_replicas=1, topology=topo)
+
+
+def request(rid, prompt=300, output=250) -> Request:
+    return Request(rid, prompt_tokens=prompt, output_tokens=output, arrival_time=0.0)
+
+
+class TestRestartPrefill:
+    def test_restart_resets_progress_and_grows_target(self):
+        r = request(1)
+        r.prefilled_tokens = 300
+        r.output_generated = 40
+        r.restart_prefill()
+        assert r.prefill_required == 340
+        assert r.prefilled_tokens == 0
+        assert r.recompute_count == 1
+        assert r.remaining_prefill_tokens == 340
+        assert not r.prefill_done
+
+    def test_default_prefill_required_is_prompt(self):
+        assert request(1, prompt=123).prefill_required == 123
+
+    def test_is_recomputing_flag(self):
+        r = request(1)
+        assert not r.is_recomputing
+        r.prefilled_tokens = r.prompt_tokens
+        r.output_generated = 5
+        r.restart_prefill()
+        assert r.is_recomputing
+        r.prefilled_tokens = r.prefill_required
+        assert not r.is_recomputing
+
+
+class TestRecomputePreemption:
+    def test_recompute_mode_avoids_swaps(self):
+        system = make_system("recompute")
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        assert system.metrics.counters.get("recompute_preempt", 0) >= 1
+        assert system.metrics.counters.get("swap_out", 0) == 0
+        assert all(r.finished for r in reqs)
+
+    def test_swap_mode_never_recomputes(self):
+        system = make_system("swap")
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        assert system.metrics.counters.get("recompute_preempt", 0) == 0
+        assert system.metrics.counters.get("swap_out", 0) >= 1
+
+    def test_recomputed_requests_emit_correct_token_counts(self):
+        system = make_system("recompute")
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        recomputed = [r for r in reqs if r.recompute_count > 0]
+        assert recomputed
+        for r in recomputed:
+            assert r.output_generated == r.output_tokens
+            assert r.first_token_time is not None
+
+    def test_first_token_time_not_reset_by_recompute(self):
+        """TTFT is measured once; recompute happens after the first token."""
+        system = make_system("recompute")
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        for r in reqs:
+            if r.recompute_count > 0:
+                assert r.first_token_time < r.finish_time
+
+    def test_kv_accounting_clean_after_recompute(self):
+        system = make_system("recompute")
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        assert system.replicas[0].kv.used_gpu_blocks == 0
+
+    def test_decode_only_instance_falls_back_to_swap(self):
+        """DistServe's decode instance cannot prefill, so recompute mode
+        degrades to swapping there."""
+        from repro.baselines.distserve import DistServeSystem
+        from repro.serving.system import SystemConfig
+
+        topo = NodeTopology(num_gpus=4)
+        cfg = SystemConfig(
+            model=get_model("opt-13b"),
+            decode_instance=InstanceConfig(
+                preemption_mode="recompute", kv_capacity_override_tokens=2048
+            ),
+        )
+        system = DistServeSystem(cfg, topology=topo)
+        reqs = [request(i) for i in range(14)]
+        for r in reqs:
+            system.submit(r)
+        system.sim.run_until_idle()
+        assert system.metrics.counters.get("recompute_preempt", 0) == 0
+        assert system.metrics.counters.get("swap_out", 0) >= 1
+        assert all(r.finished for r in reqs)

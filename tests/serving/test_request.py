@@ -1,0 +1,86 @@
+"""Tests for request lifecycle and metric definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.request import Phase, Request
+
+
+def make_request(**overrides) -> Request:
+    base = dict(request_id=1, prompt_tokens=100, output_tokens=10, arrival_time=5.0)
+    base.update(overrides)
+    return Request(**base)
+
+
+class TestValidation:
+    def test_prompt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_request(prompt_tokens=0)
+
+    def test_output_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_request(output_tokens=0)
+
+
+class TestDerivedState:
+    def test_context_includes_generated(self):
+        r = make_request()
+        r.output_generated = 3
+        assert r.context_tokens == 103
+
+    def test_prefill_progress(self):
+        r = make_request()
+        assert r.remaining_prefill_tokens == 100
+        r.prefilled_tokens = 60
+        assert r.remaining_prefill_tokens == 40
+        assert not r.prefill_done
+        r.prefilled_tokens = 100
+        assert r.prefill_done
+
+    def test_decode_iterations_remaining(self):
+        r = make_request(output_tokens=10)
+        r.output_generated = 1  # first token from prefill
+        assert r.decode_iterations_remaining == 9
+
+    def test_initial_phase(self):
+        assert make_request().phase == Phase.WAITING_PREFILL
+
+
+class TestMetrics:
+    def test_ttft_includes_queuing(self):
+        r = make_request(arrival_time=5.0)
+        r.first_token_time = 7.5
+        assert r.ttft == pytest.approx(2.5)
+
+    def test_ttft_none_before_first_token(self):
+        assert make_request().ttft is None
+
+    def test_tpot_definition(self):
+        """TPOT averages over output tokens after the first (paper §1)."""
+        r = make_request(output_tokens=11)
+        r.first_token_time = 10.0
+        r.finish_time = 20.0
+        assert r.tpot == pytest.approx(1.0)  # 10 s / 10 subsequent tokens
+
+    def test_tpot_single_token_output_is_zero(self):
+        r = make_request(output_tokens=1)
+        r.first_token_time = 10.0
+        r.finish_time = 10.0
+        assert r.tpot == 0.0
+
+    def test_tpot_none_when_unfinished(self):
+        r = make_request()
+        r.first_token_time = 10.0
+        assert r.tpot is None
+
+    def test_decode_queue_delay(self):
+        r = make_request()
+        r.decode_queue_enter = 8.0
+        r.decode_start = 9.5
+        assert r.decode_queue_delay == pytest.approx(1.5)
+
+    def test_end_to_end_latency(self):
+        r = make_request(arrival_time=5.0)
+        r.finish_time = 25.0
+        assert r.end_to_end_latency == pytest.approx(20.0)

@@ -1,0 +1,54 @@
+"""Tests for the structured trace log."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+class TestTraceLog:
+    def test_emit_and_read_back(self):
+        log = TraceLog()
+        log.emit(1.0, "prefill", "batch-start", tokens=512)
+        assert len(log) == 1
+        rec = log.records[0]
+        assert rec == TraceRecord(1.0, "prefill", "batch-start", {"tokens": 512})
+
+    def test_disabled_log_drops_records(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "x", "y")
+        assert len(log) == 0
+
+    def test_tag_filter(self):
+        log = TraceLog(tag_filter=lambda tag: tag == "keep")
+        log.emit(1.0, "c", "keep")
+        log.emit(2.0, "c", "drop")
+        assert [r.tag for r in log] == ["keep"]
+
+    def test_filter_by_tag_and_component(self):
+        log = TraceLog()
+        log.emit(1.0, "a", "t1")
+        log.emit(2.0, "b", "t1")
+        log.emit(3.0, "a", "t2")
+        assert len(log.filter(tag="t1")) == 2
+        assert len(log.filter(component="a")) == 2
+        assert len(log.filter(tag="t1", component="a")) == 1
+
+    def test_count(self):
+        log = TraceLog()
+        for _ in range(3):
+            log.emit(0.0, "c", "x")
+        log.emit(0.0, "c", "y")
+        assert log.count("x") == 3
+        assert log.count("y") == 1
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit(0.0, "c", "x")
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration_order_is_emission_order(self):
+        log = TraceLog()
+        log.emit(5.0, "c", "late")
+        log.emit(1.0, "c", "early")
+        assert [r.tag for r in log] == ["late", "early"]

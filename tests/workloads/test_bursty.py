@@ -1,0 +1,70 @@
+"""Tests for the bursty (Gamma-renewal) arrival process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+
+class TestGammaArrivals:
+    def test_mean_rate_preserved(self):
+        rng = np.random.default_rng(0)
+        arrivals = gamma_arrivals(10.0, 30_000, rng, cv=3.0)
+        assert len(arrivals) / arrivals[-1] == pytest.approx(10.0, rel=0.06)
+
+    def test_cv_matches_request(self):
+        rng = np.random.default_rng(1)
+        arrivals = gamma_arrivals(5.0, 50_000, rng, cv=2.5)
+        gaps = np.diff(arrivals)
+        assert gaps.std() / gaps.mean() == pytest.approx(2.5, rel=0.08)
+
+    def test_cv_one_is_poisson_like(self):
+        rng = np.random.default_rng(2)
+        arrivals = gamma_arrivals(5.0, 50_000, rng, cv=1.0)
+        gaps = np.diff(arrivals)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_monotone(self):
+        arrivals = gamma_arrivals(3.0, 1000, np.random.default_rng(3), cv=4.0)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gamma_arrivals(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            gamma_arrivals(1.0, 10, rng, cv=0.0)
+
+    def test_burstier_than_poisson(self):
+        """Higher CV concentrates more arrivals into short windows."""
+        rng1, rng2 = np.random.default_rng(4), np.random.default_rng(4)
+        poisson = poisson_arrivals(10.0, 20_000, rng1)
+        bursty = gamma_arrivals(10.0, 20_000, rng2, cv=4.0)
+
+        def max_burst(arrivals, window=1.0):
+            counts = np.histogram(arrivals, bins=int(arrivals[-1] / window))[0]
+            return counts.max()
+
+        assert max_burst(bursty) > max_burst(poisson)
+
+
+class TestTraceIntegration:
+    def test_generate_trace_bursty(self):
+        trace = generate_trace(
+            SHAREGPT, rate=8.0, num_requests=500, seed=0, arrival_process="bursty",
+            burstiness_cv=3.0,
+        )
+        assert len(trace) == 500
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(SHAREGPT, 8.0, 10, arrival_process="selfsimilar")
+
+    def test_bursty_differs_from_poisson(self):
+        a = generate_trace(SHAREGPT, 8.0, 100, seed=0)
+        b = generate_trace(SHAREGPT, 8.0, 100, seed=0, arrival_process="bursty")
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]

@@ -1,0 +1,60 @@
+"""Tests that the synthetic datasets match the paper's Table 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import LONGBENCH, SHAREGPT, get_dataset
+
+
+def sampled_stats(dist, n=200_000, seed=0):
+    samples = dist.sample(np.random.default_rng(seed), n)
+    return samples.mean(), np.median(samples), np.percentile(samples, 90)
+
+
+class TestShareGPT:
+    def test_prompt_stats_match_table2(self):
+        mean, median, p90 = sampled_stats(SHAREGPT.prompt)
+        assert median == pytest.approx(695, rel=0.06)
+        assert p90 == pytest.approx(1556, rel=0.10)
+        assert mean == pytest.approx(768.2, rel=0.12)
+
+    def test_output_stats_match_table2(self):
+        mean, median, p90 = sampled_stats(SHAREGPT.output)
+        assert median == pytest.approx(87, rel=0.08)
+        assert p90 == pytest.approx(518, rel=0.12)
+        assert mean == pytest.approx(195.9, rel=0.15)
+
+    def test_wide_length_spread(self):
+        """Paper: ShareGPT is notable for its extensive length range."""
+        samples = SHAREGPT.prompt.sample(np.random.default_rng(0), 50_000)
+        assert samples.std() / samples.mean() > 0.4
+
+
+class TestLongBench:
+    def test_prompt_stats_match_table2(self):
+        mean, median, p90 = sampled_stats(LONGBENCH.prompt)
+        assert median == pytest.approx(2887, rel=0.05)
+        assert p90 == pytest.approx(3792, rel=0.08)
+        assert mean == pytest.approx(2890.4, rel=0.08)
+
+    def test_output_median_is_tiny(self):
+        _, median, _ = sampled_stats(LONGBENCH.output)
+        assert median == pytest.approx(12, abs=3)
+
+    def test_summarization_shape(self):
+        """Long prompts, short outputs — the summarisation profile."""
+        p_mean, _, _ = sampled_stats(LONGBENCH.prompt)
+        o_mean, _, _ = sampled_stats(LONGBENCH.output)
+        assert p_mean > 10 * o_mean
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_dataset("ShareGPT") is SHAREGPT
+        assert get_dataset("longbench") is LONGBENCH
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("alpaca")

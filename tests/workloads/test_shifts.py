@@ -1,0 +1,73 @@
+"""Tests for shifting workload traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import OPT_13B
+from repro.workloads.datasets import LONGBENCH, SHAREGPT
+from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
+
+
+def two_phase(seed=0, n=200):
+    return generate_shifting_trace(
+        [
+            WorkloadPhase(SHAREGPT, rate=10.0, num_requests=n),
+            WorkloadPhase(LONGBENCH, rate=5.0, num_requests=n),
+        ],
+        seed=seed,
+        model=OPT_13B,
+    )
+
+
+class TestGeneration:
+    def test_total_requests(self):
+        assert len(two_phase(n=150)) == 300
+
+    def test_arrivals_monotone_across_phases(self):
+        trace = two_phase()
+        times = [r.arrival_time for r in trace]
+        assert times == sorted(times)
+
+    def test_pattern_actually_shifts(self):
+        trace = two_phase(n=300)
+        first = [r.prompt_tokens for r in trace][:300]
+        second = [r.prompt_tokens for r in trace][300:]
+        assert np.mean(second) > 2 * np.mean(first)
+
+    def test_rates_differ_between_phases(self):
+        trace = two_phase(n=300)
+        times = [r.arrival_time for r in trace.requests]
+        first_span = times[299] - times[0]
+        second_span = times[-1] - times[300]
+        rate1 = 300 / first_span
+        rate2 = 300 / second_span
+        assert rate1 == pytest.approx(10.0, rel=0.2)
+        assert rate2 == pytest.approx(5.0, rel=0.2)
+
+    def test_ids_unique_and_sequential(self):
+        trace = two_phase(n=50)
+        ids = sorted(r.request_id for r in trace)
+        assert ids == list(range(100))
+
+    def test_model_clamping_applies(self):
+        trace = two_phase()
+        for r in trace:
+            assert r.prompt_tokens + r.output_tokens <= OPT_13B.max_context
+
+    def test_deterministic(self):
+        a, b = two_phase(seed=3), two_phase(seed=3)
+        assert [r.prompt_tokens for r in a] == [r.prompt_tokens for r in b]
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            generate_shifting_trace([])
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            generate_shifting_trace([WorkloadPhase(SHAREGPT, rate=0.0, num_requests=10)])
+
+    def test_mean_rate_recorded(self):
+        trace = two_phase()
+        assert 5.0 < trace.rate < 10.0
