@@ -1,10 +1,19 @@
-.PHONY: install test bench results examples clean
+.PHONY: install test bench results examples golden-check golden-record differential clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+golden-check:
+	python -m repro golden check
+
+golden-record:
+	python -m repro golden record
+
+differential:
+	python -m repro differential --seeds 0,1,2
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -7,6 +7,9 @@ Python::
         --rate 4.0 --requests 500
     python -m repro sweep --systems windserve,distserve,vllm --rates 2,3,4,5
     python -m repro placement --model opt-13b --dataset sharegpt --rate 1.5
+    python -m repro golden record
+    python -m repro golden check
+    python -m repro differential --seeds 0,1,2
     python -m repro models
     python -m repro datasets
 """
@@ -16,6 +19,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.harness.placement_search import search_placement
@@ -160,6 +164,58 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_golden(args: argparse.Namespace) -> int:
+    from repro.harness.golden import GOLDEN_MATRIX, check_goldens, record_goldens
+
+    only = args.only or None
+    if args.action == "list":
+        for scenario in GOLDEN_MATRIX:
+            print(scenario.name)
+        return 0
+    try:
+        if args.action == "record":
+            for path in record_goldens(args.dir, only=only):
+                print(f"recorded {path}")
+            return 0
+        diffs = check_goldens(args.dir, only=only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for diff in diffs:
+        print(diff.report())
+    failed = sum(not d.passed for d in diffs)
+    if failed:
+        print(
+            f"\n{failed}/{len(diffs)} golden scenario(s) diverged. If the behaviour "
+            "change is intentional, re-record with `python -m repro golden record` "
+            "(see docs/determinism.md)."
+        )
+        return 1
+    print(f"\nall {len(diffs)} golden scenario(s) match")
+    return 0
+
+
+def cmd_differential(args: argparse.Namespace) -> int:
+    from repro.harness.differential import DifferentialSpec, run_differential
+
+    failures = 0
+    for seed in args.seeds:
+        spec = DifferentialSpec(
+            model=args.model,
+            dataset=args.dataset,
+            rate_per_gpu=args.rate,
+            num_requests=args.requests,
+            seed=seed,
+            arrival_process=args.arrivals,
+            burstiness_cv=args.burstiness,
+            systems=tuple(args.systems),
+        )
+        result = run_differential(spec)
+        print(result.report())
+        failures += not result.passed
+    return 1 if failures else 0
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -248,6 +304,44 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown_p.add_argument("--rate", type=float, required=True)
     _add_workload_args(breakdown_p)
     breakdown_p.set_defaults(func=cmd_breakdown)
+
+    golden_p = sub.add_parser(
+        "golden", help="record or check deterministic golden traces"
+    )
+    golden_p.add_argument("action", choices=("record", "check", "list"))
+    golden_p.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("tests") / "golden",
+        help="golden store directory (default tests/golden)",
+    )
+    golden_p.add_argument(
+        "--only",
+        action="append",
+        metavar="SCENARIO",
+        help="restrict to a named scenario (repeatable; see `golden list`)",
+    )
+    golden_p.set_defaults(func=cmd_golden)
+
+    diff_p = sub.add_parser(
+        "differential",
+        help="run all systems on one identical workload and assert shared invariants",
+    )
+    diff_p.add_argument(
+        "--systems",
+        type=lambda s: [x.strip() for x in s.split(",")],
+        default=["windserve", "distserve", "vllm"],
+    )
+    diff_p.add_argument(
+        "--seeds",
+        type=lambda s: [int(x) for x in s.split(",")],
+        default=[0, 1, 2],
+        help="comma-separated seeds, one differential run each",
+    )
+    diff_p.add_argument("--rate", type=float, default=3.0)
+    _add_workload_args(diff_p)
+    # Invariant checks don't need the default 500-request statistical power.
+    diff_p.set_defaults(func=cmd_differential, requests=40)
 
     models_p = sub.add_parser("models", help="list known model architectures")
     models_p.set_defaults(func=cmd_models)

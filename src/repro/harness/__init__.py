@@ -14,6 +14,19 @@ from repro.harness.timeline import TimelineReport, render_timeline, sparkline
 from repro.harness.capacity import CapacityResult, find_capacity
 from repro.harness.comparison import Comparison, compare_systems
 from repro.harness.breakdown import aggregate_breakdown, breakdown_rows, render_breakdown
+from repro.harness.differential import (
+    DifferentialReport,
+    DifferentialSpec,
+    run_differential,
+)
+from repro.harness.golden import (
+    GOLDEN_MATRIX,
+    GoldenDiff,
+    GoldenScenario,
+    check_goldens,
+    record_goldens,
+    run_scenario,
+)
 
 __all__ = [
     "PAPER_SLOS",
@@ -36,4 +49,13 @@ __all__ = [
     "aggregate_breakdown",
     "breakdown_rows",
     "render_breakdown",
+    "DifferentialReport",
+    "DifferentialSpec",
+    "run_differential",
+    "GOLDEN_MATRIX",
+    "GoldenDiff",
+    "GoldenScenario",
+    "check_goldens",
+    "record_goldens",
+    "run_scenario",
 ]

@@ -1,0 +1,395 @@
+"""Golden-trace store: record and diff deterministic regression traces.
+
+Every figure the reproduction claims rests on the simulator producing
+identical event streams for identical seeds.  This module pins that down:
+a small matrix of {scheduler x workload x seed} scenarios is run with
+tracing on, and the tag-filtered event stream + final per-request metrics
++ RNG registry are captured as compact JSONL *goldens* under
+``tests/golden/``.  ``python -m repro golden check`` re-runs the matrix
+and names the first diverging event (time, component, tag, payload delta)
+when a scheduler change perturbs behaviour; ``python -m repro golden
+record`` refreshes the files after an *intentional* change (see
+``docs/determinism.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
+from repro.models.registry import get_model
+from repro.serving.instance import InstanceConfig
+from repro.sim.fingerprint import (
+    RunFingerprint,
+    canonical_json,
+    request_row,
+)
+from repro.sim.trace import TraceLog
+from repro.workloads.datasets import get_dataset
+from repro.workloads.trace import generate_trace
+
+#: Default location of the golden store, relative to the repo root.
+DEFAULT_GOLDEN_DIR = Path("tests") / "golden"
+
+#: Trace tags captured into goldens.  Scheduling decisions (batch launches,
+#: swaps, migrations, assists) pin the interesting behaviour; omitting
+#: nothing here that systems emit keeps the check strict while the small
+#: scenario sizes keep files compact.
+GOLDEN_TAGS = frozenset(
+    {
+        "batch-start",
+        "finish",
+        "swap-out",
+        "swap-in",
+        "recompute-preempt",
+        "reconfigure",
+        "migration-start",
+        "migration-done",
+        "assist-start",
+        "assist-done",
+    }
+)
+
+GOLDEN_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One {scheduler x workload x seed} cell of the golden matrix."""
+
+    name: str
+    system: str
+    rate_per_gpu: float
+    seed: int
+    num_requests: int = 25
+    model: str = "opt-13b"
+    dataset: str = "sharegpt"
+    arrival_process: str = "poisson"
+    burstiness_cv: float = 2.0
+    # Shrinking the KV pool forces the memory-pressure paths (swaps,
+    # recompute preemptions, WindServe rescheduling) into the golden trace.
+    kv_override_tokens: Optional[int] = None
+    decode_parallel: tuple[int, int] = (2, 1)
+
+    def spec(self) -> ExperimentSpec:
+        instance = InstanceConfig()
+        if self.kv_override_tokens is not None:
+            instance = InstanceConfig(
+                kv_capacity_override_tokens=self.kv_override_tokens, cpu_swap_gb=16.0
+            )
+        return ExperimentSpec(
+            system=self.system,
+            model=self.model,
+            dataset=self.dataset,
+            rate_per_gpu=self.rate_per_gpu,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            arrival_process=self.arrival_process,
+            burstiness_cv=self.burstiness_cv,
+            instance_config=instance,
+            decode_parallel=self.decode_parallel,
+        )
+
+    def meta(self) -> dict:
+        return {
+            "name": self.name,
+            "system": self.system,
+            "model": self.model,
+            "dataset": self.dataset,
+            "rate_per_gpu": self.rate_per_gpu,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "arrival_process": self.arrival_process,
+            "burstiness_cv": self.burstiness_cv,
+            "kv_override_tokens": self.kv_override_tokens,
+            "decode_parallel": list(self.decode_parallel),
+        }
+
+
+def _matrix() -> tuple[GoldenScenario, ...]:
+    cells = []
+    for system in ("windserve", "distserve", "vllm"):
+        cells.append(
+            GoldenScenario(
+                name=f"{system}-poisson-r3-s0", system=system, rate_per_gpu=3.0, seed=0
+            )
+        )
+        cells.append(
+            GoldenScenario(
+                name=f"{system}-bursty-r3.5-s7",
+                system=system,
+                rate_per_gpu=3.5,
+                seed=7,
+                arrival_process="bursty",
+            )
+        )
+    # Memory-pressure cells: a tiny KV pool on a single-GPU decode instance
+    # makes swaps and WindServe migrations fire, pinning those code paths.
+    for system in ("windserve", "distserve"):
+        cells.append(
+            GoldenScenario(
+                name=f"{system}-pressure-r3.5-s3",
+                system=system,
+                rate_per_gpu=3.5,
+                seed=3,
+                num_requests=50,
+                kv_override_tokens=4096,
+                decode_parallel=(1, 1),
+            )
+        )
+    return tuple(cells)
+
+
+#: The recorded matrix.  Keep scenarios small (tens of requests): goldens
+#: live in git and the check runs on every push.
+GOLDEN_MATRIX: tuple[GoldenScenario, ...] = _matrix()
+
+
+@dataclass
+class GoldenRun:
+    """In-memory result of running one scenario with golden tracing on."""
+
+    scenario: GoldenScenario
+    fingerprint: RunFingerprint
+    event_rows: list[dict]
+    request_rows: list[dict]
+    rng_registry: tuple[str, ...]
+
+
+def run_scenario(scenario: GoldenScenario) -> GoldenRun:
+    """Run one golden scenario deterministically and capture its artefacts."""
+    spec = scenario.spec()
+    system = build_system(spec, resolve_slo(spec))
+    # Tracing is off by default for speed; golden runs need the filtered
+    # stream, and instances share the system's TraceLog object.
+    golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
+    system.trace = golden_log
+    for instance in system.instances:
+        instance.trace = golden_log
+    workload = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * spec.gpus_used,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        arrival_process=spec.arrival_process,
+        burstiness_cv=spec.burstiness_cv,
+    )
+    system.run_to_completion(workload)
+    return GoldenRun(
+        scenario=scenario,
+        fingerprint=system.run_fingerprint(workload.rng_registry),
+        event_rows=system.trace.to_rows(),
+        request_rows=sorted(
+            (request_row(r) for r in system.metrics.completed), key=lambda r: r["id"]
+        ),
+        rng_registry=workload.rng_registry,
+    )
+
+
+# -- store I/O ----------------------------------------------------------------
+
+
+def golden_path(directory: Path, name: str) -> Path:
+    return Path(directory) / f"{name}.jsonl"
+
+
+def save_golden(run: GoldenRun, directory: Path) -> Path:
+    """Write one scenario's golden JSONL (header line, then one event/line)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    header = {
+        "golden": GOLDEN_FORMAT_VERSION,
+        "scenario": run.scenario.meta(),
+        "fingerprint": run.fingerprint.as_dict(),
+        "combined": run.fingerprint.value,
+        "events": len(run.event_rows),
+        "rng": list(run.rng_registry),
+        "requests": run.request_rows,
+    }
+    path = golden_path(directory, run.scenario.name)
+    with path.open("w") as fh:
+        fh.write(canonical_json(header) + "\n")
+        for row in run.event_rows:
+            fh.write(canonical_json(row) + "\n")
+    return path
+
+
+def load_golden(path: Path) -> tuple[dict, list[dict]]:
+    """Read a golden file back as (header, event rows)."""
+    with Path(path).open() as fh:
+        lines = [line for line in fh.read().splitlines() if line]
+    if not lines:
+        raise ValueError(f"golden file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("golden") != GOLDEN_FORMAT_VERSION:
+        raise ValueError(
+            f"golden file {path} has format version {header.get('golden')!r}; "
+            f"expected {GOLDEN_FORMAT_VERSION} — re-record with "
+            f"`python -m repro golden record`"
+        )
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+def record_goldens(
+    directory: Path = DEFAULT_GOLDEN_DIR, only: Optional[Sequence[str]] = None
+) -> list[Path]:
+    """Run the matrix (or a named subset) and write/refresh golden files."""
+    paths = []
+    for scenario in _select(only):
+        paths.append(save_golden(run_scenario(scenario), directory))
+    return paths
+
+
+# -- diffing ------------------------------------------------------------------
+
+
+@dataclass
+class GoldenDiff:
+    """Outcome of checking one scenario against its recorded golden."""
+
+    scenario: str
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.messages
+
+    def report(self) -> str:
+        status = "ok" if self.passed else "DIVERGED"
+        lines = [f"[{status}] {self.scenario}"]
+        lines.extend(f"    {m}" for m in self.messages)
+        return "\n".join(lines)
+
+
+def _payload_delta(expected: dict, actual: dict) -> str:
+    keys = sorted(set(expected) | set(actual))
+    parts = []
+    for key in keys:
+        exp, act = expected.get(key, "<absent>"), actual.get(key, "<absent>")
+        if exp != act:
+            parts.append(f"{key}: {exp!r} -> {act!r}")
+    return "; ".join(parts) if parts else "(payloads equal)"
+
+
+def first_event_divergence(
+    expected: Sequence[dict], actual: Sequence[dict]
+) -> Optional[str]:
+    """Human-readable description of the first diverging trace event."""
+    for index, (exp, act) in enumerate(zip(expected, actual)):
+        if exp == act:
+            continue
+        lines = [
+            f"first divergence at event #{index}:",
+            f"  expected t={exp['t']:.6f} {exp['c']} {exp['g']}",
+            f"  actual   t={act['t']:.6f} {act['c']} {act['g']}",
+        ]
+        if exp["c"] == act["c"] and exp["g"] == act["g"]:
+            lines.append(f"  payload delta: {_payload_delta(exp['p'], act['p'])}")
+        return "\n    ".join(lines)
+    if len(expected) != len(actual):
+        if len(actual) > len(expected):
+            extra = actual[len(expected)]
+            return (
+                f"actual run has {len(actual) - len(expected)} extra events; first "
+                f"extra: t={extra['t']:.6f} {extra['c']} {extra['g']}"
+            )
+        missing = expected[len(actual)]
+        return (
+            f"actual run is missing {len(expected) - len(actual)} events; first "
+            f"missing: t={missing['t']:.6f} {missing['c']} {missing['g']}"
+        )
+    return None
+
+
+def _first_request_divergence(
+    expected: Sequence[dict], actual: Sequence[dict]
+) -> Optional[str]:
+    for exp, act in zip(expected, actual):
+        if exp != act:
+            return f"first diverging request id={exp['id']}: {_payload_delta(exp, act)}"
+    if len(expected) != len(actual):
+        return f"completed-request count changed: {len(expected)} -> {len(actual)}"
+    return None
+
+
+def diff_against_golden(path: Path, run: GoldenRun) -> GoldenDiff:
+    """Compare a fresh run against its stored golden file."""
+    diff = GoldenDiff(scenario=run.scenario.name)
+    header, expected_events = load_golden(path)
+    if header["combined"] == run.fingerprint.value:
+        return diff
+
+    fp = header["fingerprint"]
+    recorded = RunFingerprint(
+        trace_hash=fp["trace"],
+        requests_hash=fp["requests"],
+        rng_hash=fp["rng"],
+        events_processed=fp["events_processed"],
+        horizon=fp["horizon"],
+        version=fp["version"],
+    )
+    components = recorded.explain_mismatch(run.fingerprint)
+    diff.messages.append(
+        "fingerprint mismatch in: " + (", ".join(components) or "combined digest")
+    )
+    event_diff = first_event_divergence(expected_events, run.event_rows)
+    if event_diff is not None:
+        diff.messages.append(event_diff)
+    request_diff = _first_request_divergence(header.get("requests", []), run.request_rows)
+    if request_diff is not None:
+        diff.messages.append(request_diff)
+    if list(header.get("rng", [])) != list(run.rng_registry):
+        recorded_rng, actual_rng = set(header.get("rng", [])), set(run.rng_registry)
+        added = sorted(actual_rng - recorded_rng)
+        removed = sorted(recorded_rng - actual_rng)
+        parts = []
+        if added:
+            parts.append(f"new streams {added}")
+        if removed:
+            parts.append(f"vanished streams {removed}")
+        diff.messages.append(
+            "RNG stream registry changed: " + ("; ".join(parts) or "order changed")
+        )
+    return diff
+
+
+def check_goldens(
+    directory: Path = DEFAULT_GOLDEN_DIR, only: Optional[Sequence[str]] = None
+) -> list[GoldenDiff]:
+    """Re-run the matrix and diff each scenario against its golden file.
+
+    Returns one :class:`GoldenDiff` per scenario; all ``passed`` means the
+    store is clean.  A missing golden file is reported as a failure (run
+    ``python -m repro golden record`` first).
+    """
+    diffs = []
+    for scenario in _select(only):
+        path = golden_path(Path(directory), scenario.name)
+        if not path.exists():
+            diffs.append(
+                GoldenDiff(
+                    scenario=scenario.name,
+                    messages=[
+                        f"no golden recorded at {path} — run `python -m repro golden record`"
+                    ],
+                )
+            )
+            continue
+        diffs.append(diff_against_golden(path, run_scenario(scenario)))
+    return diffs
+
+
+def _select(only: Optional[Sequence[str]]) -> tuple[GoldenScenario, ...]:
+    if not only:
+        return GOLDEN_MATRIX
+    wanted = set(only)
+    selected = tuple(s for s in GOLDEN_MATRIX if s.name in wanted)
+    unknown = wanted - {s.name for s in selected}
+    if unknown:
+        known = ", ".join(s.name for s in GOLDEN_MATRIX)
+        raise ValueError(f"unknown golden scenario(s) {sorted(unknown)}; known: {known}")
+    return selected

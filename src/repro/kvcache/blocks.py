@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.hardware.memory import MemoryPool, OutOfMemoryError
@@ -65,6 +66,13 @@ class KVBlockManager:
         self._gpu = MemoryPool(self.gpu_capacity_blocks, name="kv-gpu-blocks")
         self._cpu = MemoryPool(self.cpu_capacity_blocks, name="kv-cpu-blocks")
         self._allocations: dict[int, KVAllocation] = {}
+        # Lifecycle audit: how often each request id was allocated/adopted
+        # into this manager and freed out of it, plus frees that found no
+        # allocation.  The differential runner asserts every allocation is
+        # matched by exactly one free at drain.
+        self.alloc_events: Counter[int] = Counter()
+        self.free_events: Counter[int] = Counter()
+        self.redundant_frees: int = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -128,6 +136,7 @@ class KVBlockManager:
         self._gpu.reserve(blocks)
         alloc = KVAllocation(request_id, tokens, blocks, BlockLocation.GPU)
         self._allocations[request_id] = alloc
+        self.alloc_events[request_id] += 1
         return alloc
 
     def extend(self, request_id: int, new_tokens: int) -> KVAllocation:
@@ -148,9 +157,11 @@ class KVBlockManager:
         """Release all blocks of a finished/migrated request."""
         alloc = self._allocations.pop(request_id, None)
         if alloc is None:
+            self.redundant_frees += 1
             return
         pool = self._gpu if alloc.location == BlockLocation.GPU else self._cpu
         pool.release(alloc.blocks)
+        self.free_events[request_id] += 1
 
     def adopt(self, request_id: int, tokens: int, location: BlockLocation) -> KVAllocation:
         """Re-register an allocation carried over from another manager
@@ -162,6 +173,7 @@ class KVBlockManager:
         pool.reserve(blocks)
         alloc = KVAllocation(request_id, tokens, blocks, location)
         self._allocations[request_id] = alloc
+        self.alloc_events[request_id] += 1
         return alloc
 
     # -- swapping --------------------------------------------------------------

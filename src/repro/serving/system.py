@@ -19,6 +19,7 @@ from repro.serving.instance import Instance, InstanceConfig
 from repro.serving.metrics import SLO, MetricsCollector
 from repro.serving.request import Request
 from repro.sim.engine import Simulator
+from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
 
 
@@ -142,3 +143,23 @@ class ServingSystem:
         self.sim.run_until_idle()
         self.metrics.horizon = self.sim.now
         return self.metrics
+
+    # -- determinism ---------------------------------------------------------
+
+    def run_fingerprint(self, rng_registry: Iterable[str] = ()) -> "RunFingerprint":
+        """Composite determinism fingerprint of the run so far.
+
+        Hashes the ordered trace stream, the final per-request metrics, the
+        named-RNG-stream registry of the workload (pass
+        ``trace.rng_registry`` from :func:`~repro.workloads.trace.
+        generate_trace`), and the simulator's terminal state.  Identical
+        scenarios with identical seeds must yield identical fingerprints.
+        """
+        digest = self.sim.digest()
+        return fingerprint_run(
+            self.trace.records,
+            self.metrics.completed,
+            rng_registry=rng_registry,
+            events_processed=digest["events_processed"],
+            horizon=digest["now"],
+        )

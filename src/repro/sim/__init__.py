@@ -7,6 +7,12 @@ metrics layer.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.fingerprint import (
+    RunFingerprint,
+    fingerprint_records,
+    fingerprint_requests,
+    fingerprint_run,
+)
 from repro.sim.random import RandomStreams
 from repro.sim.trace import TraceLog, TraceRecord
 
@@ -14,6 +20,10 @@ __all__ = [
     "Event",
     "Simulator",
     "RandomStreams",
+    "RunFingerprint",
+    "fingerprint_records",
+    "fingerprint_requests",
+    "fingerprint_run",
     "TraceLog",
     "TraceRecord",
 ]

@@ -96,6 +96,15 @@ class Simulator:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    def digest(self) -> dict:
+        """Terminal-state summary folded into run fingerprints.
+
+        Two deterministic runs of the same scenario must agree on the clock
+        and on exactly how many callbacks fired; see
+        :mod:`repro.sim.fingerprint`.
+        """
+        return {"now": self._now, "events_processed": self._events_processed}
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now."""
         if delay < 0:

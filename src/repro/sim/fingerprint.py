@@ -1,0 +1,188 @@
+"""Run fingerprints: stable hashes that pin simulator determinism down.
+
+A *run fingerprint* is a SHA-256 digest over everything a deterministic
+simulation is supposed to reproduce bit-for-bit given the same seed:
+
+* the ordered :class:`~repro.sim.trace.TraceRecord` stream,
+* the final per-request metrics (timestamps, token counts, swap/migration
+  counters),
+* the registry of named RNG streams touched while generating the workload,
+* the simulator's terminal state (clock, events processed).
+
+Two runs of the same scenario must produce identical fingerprints; a
+scheduler regression — a flipped tie-break, a new RNG draw, a reordered
+event — changes the digest and is caught by the golden-trace check
+(:mod:`repro.harness.golden`) instead of surfacing as a mysteriously
+shifted benchmark number.
+
+Hashing is canonical-JSON based: dict keys are sorted and floats use
+``repr`` round-tripping (shortest exact decimal), so the digest depends
+only on values, never on dict insertion order or formatting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.sim.trace import TraceRecord
+
+FINGERPRINT_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace, exact float reprs."""
+    return json.dumps(
+        _canonicalize(value), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def _canonicalize(value: Any) -> Any:
+    """Reduce a payload to canonically hashable JSON types."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr() is the shortest round-trip representation; json.dumps uses
+        # it too, but normalising here keeps numpy scalars honest as well.
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, str):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _canonicalize(value.item())
+    if hasattr(value, "value") and not callable(value.value):  # enums
+        return _canonicalize(value.value)
+    return repr(value)
+
+
+def digest_lines(chunks: Iterable[str]) -> str:
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+# -- component digests --------------------------------------------------------
+
+
+def record_row(record: "TraceRecord") -> dict:
+    """Canonical dict form of one trace row (also the golden JSONL schema)."""
+    return {
+        "t": record.time,
+        "c": record.component,
+        "g": record.tag,
+        "p": _canonicalize(record.payload),
+    }
+
+
+def fingerprint_records(records: Iterable["TraceRecord"]) -> str:
+    """Digest of an ordered trace stream."""
+    return digest_lines(canonical_json(record_row(r)) for r in records)
+
+
+def request_row(request: Any) -> dict:
+    """Final per-request metrics row (duck-typed over ``Request``)."""
+    return {
+        "id": request.request_id,
+        "prompt": request.prompt_tokens,
+        "output": request.output_tokens,
+        "arrival": request.arrival_time,
+        "prefill_start": request.prefill_start,
+        "first_token": request.first_token_time,
+        "decode_start": request.decode_start,
+        "finish": request.finish_time,
+        "generated": request.output_generated,
+        "swaps": request.swap_out_count,
+        "migrations": request.migration_count,
+        "recomputes": request.recompute_count,
+        "dispatched": request.dispatched_prefill,
+    }
+
+
+def fingerprint_requests(requests: Iterable[Any]) -> str:
+    """Digest of final per-request metrics, ordered by request id."""
+    rows = sorted((request_row(r) for r in requests), key=lambda row: row["id"])
+    return digest_lines(canonical_json(row) for row in rows)
+
+
+def fingerprint_rng(registry: Iterable[str]) -> str:
+    """Digest of the named-RNG-stream registry (first-touch order matters)."""
+    return digest_lines(iter(registry))
+
+
+# -- the combined fingerprint --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunFingerprint:
+    """Composite fingerprint of one simulation run.
+
+    The component hashes are kept separate so a mismatch can be localised
+    (trace stream vs request metrics vs RNG discipline) before diffing
+    individual events.
+    """
+
+    trace_hash: str
+    requests_hash: str
+    rng_hash: str
+    events_processed: int = 0
+    horizon: float = 0.0
+    version: int = FINGERPRINT_VERSION
+
+    @property
+    def value(self) -> str:
+        """The single combined digest used by golden comparisons."""
+        return digest_lines([canonical_json(self.as_dict())])
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "trace": self.trace_hash,
+            "requests": self.requests_hash,
+            "rng": self.rng_hash,
+            "events_processed": self.events_processed,
+            "horizon": self.horizon,
+        }
+
+    def explain_mismatch(self, other: "RunFingerprint") -> list[str]:
+        """Name the components in which ``other`` diverges from ``self``."""
+        diffs = []
+        if self.trace_hash != other.trace_hash:
+            diffs.append("trace stream")
+        if self.requests_hash != other.requests_hash:
+            diffs.append("per-request metrics")
+        if self.rng_hash != other.rng_hash:
+            diffs.append("RNG stream registry")
+        if self.events_processed != other.events_processed:
+            diffs.append(
+                f"events processed ({self.events_processed} vs {other.events_processed})"
+            )
+        if self.horizon != other.horizon:
+            diffs.append(f"horizon ({self.horizon!r} vs {other.horizon!r})")
+        return diffs
+
+
+def fingerprint_run(
+    records: Iterable["TraceRecord"],
+    requests: Iterable[Any],
+    rng_registry: Iterable[str] = (),
+    events_processed: int = 0,
+    horizon: float = 0.0,
+) -> RunFingerprint:
+    """Build the composite fingerprint from a run's raw artefacts."""
+    return RunFingerprint(
+        trace_hash=fingerprint_records(records),
+        requests_hash=fingerprint_requests(requests),
+        rng_hash=fingerprint_rng(rng_registry),
+        events_processed=events_processed,
+        horizon=horizon,
+    )

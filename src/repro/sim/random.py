@@ -4,40 +4,104 @@ Every stochastic component (arrival process, prompt sampler, output sampler,
 ...) draws from its own child generator so that changing one component's
 consumption pattern never perturbs another — the standard trick for
 reproducible discrete-event simulations.
+
+Derivation discipline
+---------------------
+All streams descend from a single root :class:`numpy.random.SeedSequence`
+through the ``spawn_key`` mechanism only: a stream named ``n`` inside a
+factory spawned along path ``p`` is seeded by
+``SeedSequence(entropy=root_seed, spawn_key=p + (key(n),))`` where ``key``
+is the first 8 bytes of SHA-256 of the name.  This is collision-free in
+practice (64-bit keys, cryptographic mixing) and — unlike ad-hoc integer
+hashes — guaranteed by numpy to yield statistically independent child
+states for distinct spawn keys.
+
+Every stream touched during a run is recorded in a registry shared by a
+factory and all factories spawned from it.  The registry is folded into the
+run fingerprint (:mod:`repro.sim.fingerprint`), so code that starts drawing
+from a new stream — or stops touching an old one — changes the fingerprint
+and trips the golden-trace check loudly instead of silently shifting
+results.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
+
+
+def stream_key(name: str) -> int:
+    """Stable 64-bit spawn key for a stream name (SHA-256 prefix).
+
+    Cryptographic mixing makes distinct names collide with probability
+    ~2**-64, and the key depends only on the name — never on touch order.
+    """
+    return int.from_bytes(hashlib.sha256(name.encode("utf-8")).digest()[:8], "big")
 
 
 class RandomStreams:
     """Factory of independent :class:`numpy.random.Generator` streams.
 
-    Streams are derived from a root seed via ``numpy`` ``SeedSequence.spawn``
-    keyed by name, so ``RandomStreams(7).get("arrivals")`` is identical across
-    runs and independent of ``get("lengths")``.
+    Streams are derived from a root seed via ``numpy`` ``SeedSequence``
+    spawn keys, so ``RandomStreams(7).get("arrivals")`` is identical across
+    runs and independent of ``get("lengths")``.  :meth:`spawn` derives a
+    child factory (e.g. one per serving instance) along the same mechanism;
+    the child shares this factory's touch registry.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        _spawn_path: tuple[int, ...] = (),
+        _lineage: str = "root",
+        _registry: list[str] | None = None,
+    ) -> None:
         self._seed = int(seed)
+        self._spawn_path = tuple(_spawn_path)
+        self._lineage = _lineage
         self._streams: dict[str, np.random.Generator] = {}
+        # First-touch-ordered names, shared with every spawned child.
+        self._registry: list[str] = _registry if _registry is not None else []
 
     @property
     def seed(self) -> int:
+        """Root seed every stream in this tree descends from."""
         return self._seed
+
+    @property
+    def lineage(self) -> str:
+        """Human-readable spawn path, e.g. ``root/instance-0``."""
+        return self._lineage
 
     def get(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream for ``name``."""
         if name not in self._streams:
-            # Hash the name into deterministic extra entropy.
-            entropy = [self._seed] + [ord(c) for c in name]
-            self._streams[name] = np.random.default_rng(np.random.SeedSequence(entropy))
+            sequence = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=self._spawn_path + (stream_key(name),)
+            )
+            self._streams[name] = np.random.default_rng(sequence)
+            self._registry.append(f"{self._lineage}/{name}")
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
-        """Derive a child factory, e.g. one per serving instance."""
-        entropy = (self._seed * 1_000_003 + sum(ord(c) * 31**i for i, c in enumerate(name))) % (
-            2**63
+        """Derive a child factory, e.g. one per serving instance.
+
+        The child's streams are independent of the parent's (distinct spawn
+        paths) but fully determined by (root seed, spawn path, name) — no
+        ad-hoc integer hashing, no touch-order dependence.
+        """
+        return RandomStreams(
+            self._seed,
+            _spawn_path=self._spawn_path + (stream_key(name),),
+            _lineage=f"{self._lineage}/{name}",
+            _registry=self._registry,
         )
-        return RandomStreams(entropy)
+
+    def registry(self) -> tuple[str, ...]:
+        """Every stream touched so far, in first-touch order.
+
+        Covers this factory and every factory spawned from it.  Recorded
+        into run fingerprints so new or vanished RNG draws are detected.
+        """
+        return tuple(self._registry)

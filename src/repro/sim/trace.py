@@ -34,14 +34,14 @@ class TraceLog:
         tag_filter: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self.enabled = enabled
-        self._tag_filter = tag_filter
+        self.tag_filter = tag_filter
         self._records: list[TraceRecord] = []
 
     def emit(self, time: float, component: str, tag: str, **payload: Any) -> None:
         """Record one row (subject to the enabled flag and tag filter)."""
         if not self.enabled:
             return
-        if self._tag_filter is not None and not self._tag_filter(tag):
+        if self.tag_filter is not None and not self.tag_filter(tag):
             return
         self._records.append(TraceRecord(time, component, tag, payload))
 
@@ -73,3 +73,28 @@ class TraceLog:
 
     def clear(self) -> None:
         self._records.clear()
+
+    # -- determinism ---------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 digest of the ordered record stream.
+
+        Two runs of the same scenario with the same seed must produce the
+        same fingerprint; see :mod:`repro.sim.fingerprint`.
+        """
+        from repro.sim.fingerprint import fingerprint_records
+
+        return fingerprint_records(self._records)
+
+    def to_rows(self) -> list[dict]:
+        """Canonical JSON-ready rows (the golden-trace JSONL schema)."""
+        from repro.sim.fingerprint import record_row
+
+        return [record_row(r) for r in self._records]
+
+    @staticmethod
+    def record_from_row(row: dict) -> TraceRecord:
+        """Rebuild a :class:`TraceRecord` from its canonical row form."""
+        return TraceRecord(
+            time=row["t"], component=row["c"], tag=row["g"], payload=dict(row["p"])
+        )

@@ -37,6 +37,9 @@ class Trace:
         self.requests = sorted(requests, key=lambda r: r.arrival_time)
         self.rate = rate
         self.name = name
+        # Named RNG streams touched while sampling this trace (empty for
+        # loaded/synthetic traces); folded into run fingerprints.
+        self.rng_registry: tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -143,4 +146,6 @@ def generate_trace(
                 arrival_time=float(arrivals[i]),
             )
         )
-    return Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")
+    trace = Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")
+    trace.rng_registry = streams.registry()
+    return trace

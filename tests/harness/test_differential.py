@@ -1,0 +1,102 @@
+"""Tests for the differential runner and its shared invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.differential import (
+    DifferentialSpec,
+    check_conservation,
+    check_monotonic_times,
+    check_token_causality,
+    clone_requests,
+    run_differential,
+    workload_rows,
+)
+from repro.serving.request import Phase, Request
+
+# The acceptance matrix: >= 3 workload/seed combinations, all systems.
+COMBOS = (
+    DifferentialSpec(rate_per_gpu=3.0, seed=0, num_requests=40),
+    DifferentialSpec(rate_per_gpu=3.5, seed=3, num_requests=40, arrival_process="bursty"),
+    DifferentialSpec(rate_per_gpu=2.0, seed=11, num_requests=40),
+)
+
+
+@pytest.mark.parametrize("spec", COMBOS, ids=lambda s: f"r{s.rate_per_gpu}-s{s.seed}")
+def test_all_systems_share_invariants(spec):
+    report = run_differential(spec)
+    assert {o.system for o in report.outcomes} == set(spec.systems)
+    assert report.passed, "\n" + report.report()
+
+
+def test_workload_is_byte_identical_across_clones():
+    spec = DifferentialSpec(num_requests=10)
+    report_a = run_differential(spec)
+    report_b = run_differential(spec)
+    assert report_a.workload_fingerprint == report_b.workload_fingerprint
+
+
+def test_clones_are_fresh_objects():
+    rows = [{"id": 0, "arrival": 0.5, "prompt": 10, "output": 5}]
+    a, b = clone_requests(rows), clone_requests(rows)
+    assert a[0] is not b[0]
+    a[0].output_generated = 5  # mutating one clone must not leak
+    assert b[0].output_generated == 0
+
+
+def test_mismatched_gpu_counts_rejected():
+    spec = DifferentialSpec(systems=("windserve", "vllm"), num_requests=5)
+    # Sanity: the default specs use equal GPU counts, so this should run.
+    assert run_differential(spec).passed
+
+
+class TestInvariantCheckers:
+    """The checkers must actually catch fabricated violations."""
+
+    def _finished(self, rid=0, arrival=0.0, prefill=0.1, first=0.5, finish=1.0):
+        request = Request(
+            request_id=rid, prompt_tokens=10, output_tokens=5, arrival_time=arrival
+        )
+        request.prefilled_tokens = 10
+        request.output_generated = 5
+        request.prefill_start = prefill
+        request.first_token_time = first
+        request.finish_time = finish
+        request.phase = Phase.FINISHED
+        return request
+
+    def test_conservation_catches_loss_and_duplicates(self):
+        submitted = [self._finished(0), self._finished(1)]
+        completed = [self._finished(0), self._finished(0)]
+        problems = check_conservation(submitted, completed)
+        assert any("lost" in p for p in problems)
+        assert any("more than once" in p for p in problems)
+
+    def test_conservation_catches_phantoms(self):
+        problems = check_conservation([self._finished(0)], [self._finished(0), self._finished(9)])
+        assert any("phantom" in p for p in problems)
+
+    def test_causality_catches_token_before_prefill(self):
+        bad = self._finished(first=0.05, prefill=0.1)  # token before prefill start
+        assert any("before prefill" in p for p in check_token_causality([bad]))
+
+    def test_causality_catches_incomplete_prefill(self):
+        bad = self._finished()
+        bad.prefilled_tokens = 3
+        assert any("incomplete prefill" in p for p in check_token_causality([bad]))
+
+    def test_causality_catches_missing_tokens(self):
+        bad = self._finished()
+        bad.output_generated = 2
+        assert any("generated 2 of 5" in p for p in check_token_causality([bad]))
+
+    def test_monotonicity_catches_backwards_finish(self):
+        bad = self._finished(finish=0.2, first=0.5)
+        assert any("precedes" in p for p in check_monotonic_times([bad]))
+
+    def test_clean_requests_produce_no_violations(self):
+        good = [self._finished(0), self._finished(1)]
+        assert check_conservation(good, good) == []
+        assert check_token_causality(good) == []
+        assert check_monotonic_times(good) == []

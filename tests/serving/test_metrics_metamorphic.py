@@ -1,0 +1,125 @@
+"""Metamorphic tests for the metrics layer.
+
+Rather than pinning outputs, these check relations that must hold for *any*
+input: percentiles of a constant series equal the constant, SLO attainment
+is monotone in the SLO bounds, and scaling all latencies scales every
+percentile linearly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.metrics import SLO, LatencyStats, MetricsCollector, percentile
+from repro.serving.request import Phase, Request
+
+FINITE = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+LATENCY_LISTS = st.lists(FINITE, min_size=1, max_size=50)
+
+
+def _completed_request(rid: int, ttft: float, tpot: float, output_tokens: int = 10) -> Request:
+    request = Request(
+        request_id=rid, prompt_tokens=16, output_tokens=output_tokens, arrival_time=0.0
+    )
+    request.prefilled_tokens = 16
+    request.output_generated = output_tokens
+    request.prefill_start = 0.0
+    request.first_token_time = ttft
+    request.finish_time = ttft + tpot * (output_tokens - 1)
+    request.phase = Phase.FINISHED
+    return request
+
+
+def _collector(pairs) -> MetricsCollector:
+    metrics = MetricsCollector()
+    for rid, (ttft, tpot) in enumerate(pairs):
+        metrics.record_completion(_completed_request(rid, ttft, tpot))
+    return metrics
+
+
+class TestConstantSeries:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        constant=FINITE,
+        size=st.integers(1, 40),
+        q=st.floats(0.0, 100.0, allow_nan=False),
+    )
+    def test_percentile_of_constant_is_constant(self, constant, size, q):
+        assert percentile([constant] * size, q) == constant
+
+    @settings(max_examples=100, deadline=None)
+    @given(constant=FINITE, size=st.integers(1, 40))
+    def test_stats_of_constant_series(self, constant, size):
+        stats = LatencyStats.from_values([constant] * size)
+        assert stats.count == size
+        for value in (stats.mean, stats.p50, stats.p90, stats.p99):
+            assert math.isclose(value, constant, rel_tol=1e-12)
+
+
+class TestSLOMonotonicity:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        pairs=st.lists(st.tuples(FINITE, FINITE), min_size=1, max_size=30),
+        ttft_slo=FINITE,
+        tpot_slo=FINITE,
+        slack=st.tuples(
+            st.floats(0.0, 10.0, allow_nan=False), st.floats(0.0, 10.0, allow_nan=False)
+        ),
+    )
+    def test_attainment_monotone_in_bounds(self, pairs, ttft_slo, tpot_slo, slack):
+        """Loosening either SLO bound can never lower attainment."""
+        metrics = _collector(pairs)
+        tight = SLO(ttft=ttft_slo, tpot=tpot_slo)
+        loose = SLO(ttft=ttft_slo + slack[0], tpot=tpot_slo + slack[1])
+        assert metrics.slo_attainment(loose) >= metrics.slo_attainment(tight)
+        assert metrics.ttft_attainment(loose) >= metrics.ttft_attainment(tight)
+        assert metrics.tpot_attainment(loose) >= metrics.tpot_attainment(tight)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pairs=st.lists(st.tuples(FINITE, FINITE), min_size=1, max_size=30))
+    def test_attainment_bounds(self, pairs):
+        metrics = _collector(pairs)
+        huge = SLO(ttft=float("inf"), tpot=float("inf"))
+        zero = SLO(ttft=0.0, tpot=0.0)
+        assert metrics.slo_attainment(huge) == 1.0
+        assert metrics.slo_attainment(zero) == 0.0
+
+
+class TestScaling:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=LATENCY_LISTS,
+        scale=st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+        q=st.floats(0.0, 100.0, allow_nan=False),
+    )
+    def test_percentile_scales_linearly(self, values, scale, q):
+        scaled = [v * scale for v in values]
+        assert math.isclose(
+            percentile(scaled, q), scale * percentile(values, q), rel_tol=1e-9
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=LATENCY_LISTS,
+        scale=st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+    )
+    def test_p50_p99_scale_linearly(self, values, scale):
+        base = LatencyStats.from_values(values)
+        scaled = LatencyStats.from_values([v * scale for v in values])
+        assert math.isclose(scaled.p50, scale * base.p50, rel_tol=1e-9)
+        assert math.isclose(scaled.p99, scale * base.p99, rel_tol=1e-9)
+        assert math.isclose(scaled.mean, scale * base.mean, rel_tol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=LATENCY_LISTS, shift=FINITE)
+    def test_percentile_translates_additively(self, values, shift):
+        """Adding a constant delay shifts every percentile by that delay."""
+        shifted = [v + shift for v in values]
+        assert math.isclose(
+            percentile(shifted, 50), percentile(values, 50) + shift, rel_tol=1e-9
+        )

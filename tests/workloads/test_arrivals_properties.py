@@ -1,0 +1,62 @@
+"""Property-based tests for the arrival processes.
+
+For any rate, count, and seed, arrival timestamps must be sorted with
+non-negative inter-arrival gaps, start after the requested offset, and be
+reproducible from the same named stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStreams
+from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+
+RATES = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+COUNTS = st.integers(min_value=0, max_value=300)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+STARTS = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+CVS = st.floats(min_value=0.05, max_value=8.0, allow_nan=False, allow_infinity=False)
+
+
+def _check_ordering(arrivals: np.ndarray, num: int, start: float) -> None:
+    assert len(arrivals) == num
+    assert np.all(np.isfinite(arrivals))
+    assert np.all(arrivals >= start)
+    gaps = np.diff(arrivals)
+    assert np.all(gaps >= 0.0), "inter-arrival times must be non-negative"
+
+
+@settings(max_examples=150, deadline=None)
+@given(rate=RATES, num=COUNTS, seed=SEEDS, start=STARTS)
+def test_poisson_sorted_nonnegative_gaps(rate, num, seed, start):
+    arrivals = poisson_arrivals(rate, num, RandomStreams(seed).get("arrivals"), start=start)
+    _check_ordering(arrivals, num, start)
+
+
+@settings(max_examples=150, deadline=None)
+@given(rate=RATES, num=COUNTS, seed=SEEDS, start=STARTS, cv=CVS)
+def test_gamma_sorted_nonnegative_gaps(rate, num, seed, start, cv):
+    arrivals = gamma_arrivals(
+        rate, num, RandomStreams(seed).get("arrivals"), cv=cv, start=start
+    )
+    _check_ordering(arrivals, num, start)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rate=RATES, num=st.integers(1, 100), seed=SEEDS)
+def test_same_seed_reproduces_arrivals(rate, num, seed):
+    a = poisson_arrivals(rate, num, RandomStreams(seed).get("arrivals"))
+    b = poisson_arrivals(rate, num, RandomStreams(seed).get("arrivals"))
+    np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(num=st.integers(1, 200), seed=SEEDS)
+def test_gamma_cv_one_matches_poisson(num, seed):
+    """A Gamma renewal with CV=1 *is* the Poisson process."""
+    poisson = poisson_arrivals(2.0, num, RandomStreams(seed).get("arrivals"))
+    gamma = gamma_arrivals(2.0, num, RandomStreams(seed).get("arrivals"), cv=1.0)
+    np.testing.assert_allclose(poisson, gamma, rtol=1e-9)
