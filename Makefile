@@ -1,4 +1,4 @@
-.PHONY: install test bench results examples golden-check golden-record differential clean
+.PHONY: install test bench results examples golden-check golden-record differential chaos clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,9 @@ golden-record:
 
 differential:
 	python -m repro differential --seeds 0,1,2
+
+chaos:
+	python -m repro chaos --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -151,6 +151,8 @@ class DistServeSystem(ServingSystem):
             )
         )
         self._handoff: deque[Request] = deque()
+        # A lost hand-off is absorbed by re-prefilling; swaps still stall.
+        self.transfers.failure_kinds = frozenset({"kv-handoff"})
 
     # -- routing -------------------------------------------------------------
 
@@ -165,7 +167,7 @@ class DistServeSystem(ServingSystem):
         self._pump_handoffs()
 
     def _pump_handoffs(self) -> None:
-        if self.halted:
+        if self.halted or self.prefill_instance.failed or self.decode_instance.failed:
             return
         decode = self.decode_instance
         while self._handoff:
@@ -181,19 +183,84 @@ class DistServeSystem(ServingSystem):
                 nbytes,
                 list(self.prefill_instance.gpus),
                 list(decode.gpus),
-                on_complete=lambda job, r=request: self._handoff_done(r),
+                on_complete=lambda job, r=request, se=self.prefill_instance.epoch, de=decode.epoch: self._handoff_done(r, se, de),
                 kind="kv-handoff",
                 request_id=request.request_id,
+                request=request,
             )
 
-    def _handoff_done(self, request: Request) -> None:
-        if self.halted:
+    def _handoff_done(
+        self,
+        request: Request,
+        src_epoch: Optional[int] = None,
+        dst_epoch: Optional[int] = None,
+    ) -> None:
+        if self.halted or request.finished:
+            return
+        if request.phase is not Phase.TRANSFERRING:
+            return  # re-queued by a failure handler while the copy flew
+        prefill, decode = self.prefill_instance, self.decode_instance
+        if src_epoch is not None and src_epoch != prefill.epoch:
+            # Source crashed mid-copy: the destination bytes are torn.
+            if decode.kv.has(request.request_id):
+                decode.kv.free(request.request_id)
+            self.metrics.bump("torn_handoff")
+            self._requeue_on_prefill(request)
+            return
+        if decode.failed or (dst_epoch is not None and dst_epoch != decode.epoch):
+            # Destination lost the allocation: retry once it is back.
+            self._handoff.appendleft(request)
+            self.metrics.bump("handoff_deferred")
+            self._pump_handoffs()
             return
         # DistServe does not retain KV in the prefill instance.
-        self.prefill_instance.kv.free(request.request_id)
-        self.prefill_instance.kick()
+        if not prefill.failed and prefill.kv.has(request.request_id):
+            prefill.kv.free(request.request_id)
+        prefill.kick()
         request.phase = Phase.WAITING_DECODE
-        self.decode_instance.enqueue(request)
+        decode.enqueue(request)
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def _requeue_on_prefill(self, request: Request) -> None:
+        if request.finished:
+            return
+        request.restart_prefill()
+        self._mark_requeued(request)
+        self.prefill_instance.enqueue(request)
+
+    def recover_lost_requests(self, instance, lost: list[Request]) -> None:
+        prefill = self.prefill_instance
+        if instance is self.decode_instance:
+            for request in lost:
+                self._requeue_on_prefill(request)
+        else:
+            for request in lost:
+                if request.finished:
+                    continue
+                self._reset_for_requeue(request)
+                prefill.waiting.append(request)
+            prefill.kick()
+
+    def on_instance_crashed(self, instance) -> None:
+        if instance is self.prefill_instance:
+            # Queued hand-offs lost their only (prefill-side) KV copy.
+            while self._handoff:
+                self._stash_orphan(instance, self._handoff.popleft())
+
+    def after_recovery(self, instance) -> None:
+        instance.kick()
+        self._pump_handoffs()
+
+    def on_transfer_failed(self, job) -> None:
+        request = job.meta.get("request")
+        if request is None or request.finished:
+            return
+        # The hand-off copy never made it: drop both sides and re-prefill.
+        for instance in (self.decode_instance, self.prefill_instance):
+            if not instance.failed and instance.kv.has(request.request_id):
+                instance.kv.free(request.request_id)
+        self._requeue_on_prefill(request)
 
     # -- events ------------------------------------------------------------------
 

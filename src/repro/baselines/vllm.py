@@ -155,5 +155,14 @@ class VLLMSystem(ServingSystem):
             self.replicas.append(self.register(inst))  # type: ignore[arg-type]
 
     def submit(self, request: Request) -> None:
-        target = min(self.replicas, key=lambda r: r.load())
+        alive = [r for r in self.replicas if r.name not in self.known_failed]
+        target = min(alive or self.replicas, key=lambda r: r.load())
         target.enqueue(request)
+
+    def recover_lost_requests(self, instance, lost: list[Request]) -> None:
+        """Re-route crash orphans to the least-loaded surviving replica."""
+        for request in lost:
+            if request.finished:
+                continue
+            self._reset_for_requeue(request)
+            self.submit(request)

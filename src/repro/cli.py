@@ -10,6 +10,8 @@ Python::
     python -m repro golden record
     python -m repro golden check
     python -m repro differential --seeds 0,1,2
+    python -m repro chaos --plans decode-crash,link-degrade
+    python -m repro chaos --smoke
     python -m repro models
     python -m repro datasets
 """
@@ -216,6 +218,64 @@ def cmd_differential(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FAULT_PLAN_NAMES
+    from repro.harness.chaos import run_chaos_matrix
+
+    systems, plans = args.systems, args.plans
+    requests = args.requests
+    if args.smoke:
+        # One small deterministic cell for CI: fast, but still exercises
+        # crash -> detect -> re-queue -> recover end to end.
+        systems, plans, requests = ["windserve"], ["decode-crash"], min(requests, 60)
+    for plan in plans:
+        if plan not in FAULT_PLAN_NAMES:
+            print(
+                f"error: unknown fault plan {plan!r}; known: {FAULT_PLAN_NAMES}",
+                file=sys.stderr,
+            )
+            return 2
+    results = run_chaos_matrix(
+        systems=systems,
+        plans=plans,
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=requests,
+        seed=args.seed,
+        arrival_process=args.arrivals,
+        burstiness_cv=args.burstiness,
+    )
+    rows = [r.row() for r in results]
+    if args.json:
+        payload = [
+            {
+                **r.row(),
+                "resilience": r.resilience,
+                "plan_events": r.plan_events,
+                "fingerprint": r.fingerprint,
+                "completion_curve": r.completion_curve,
+                "violations": r.violations,
+            }
+            for r in results
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(rows))
+    failed = [r for r in results if not r.passed]
+    for result in failed:
+        print(
+            f"\n[VIOLATED] {result.spec.system} / {result.spec.fault_plan}:",
+            file=sys.stderr,
+        )
+        for violation in result.violations:
+            print(f"    {violation}", file=sys.stderr)
+    if failed:
+        return 1
+    print(f"\nall {len(results)} chaos run(s) satisfied the resilience invariants")
+    return 0
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -342,6 +402,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(diff_p)
     # Invariant checks don't need the default 500-request statistical power.
     diff_p.set_defaults(func=cmd_differential, requests=40)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="inject fault plans and measure degraded-mode behaviour",
+    )
+    chaos_p.add_argument(
+        "--systems",
+        type=lambda s: [x.strip() for x in s.split(",")],
+        default=["windserve", "distserve", "vllm"],
+    )
+    chaos_p.add_argument(
+        "--plans",
+        type=lambda s: [x.strip() for x in s.split(",")],
+        default=["decode-crash", "link-degrade", "straggler"],
+        help="comma-separated fault plans (see repro.faults.FAULT_PLAN_NAMES)",
+    )
+    chaos_p.add_argument("--rate", type=float, default=3.0)
+    chaos_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single fast windserve/decode-crash cell (CI gate)",
+    )
+    _add_workload_args(chaos_p)
+    # Chaos checks invariants, not percentiles; keep runs quick.
+    chaos_p.set_defaults(func=cmd_chaos, requests=120)
 
     models_p = sub.add_parser("models", help="list known model architectures")
     models_p.set_defaults(func=cmd_models)

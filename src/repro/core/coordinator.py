@@ -40,6 +40,15 @@ class Coordinator:
         """
         system = self.system
         cfg = system.ws_config
+        # Degraded-mode routing: once the heartbeat monitor declares an
+        # instance failed, steer new work to the survivor.
+        if system.is_down(system.decode_instance):
+            return Route.PREFILL
+        if system.is_down(system.prefill_instance):
+            if self.available_slots() >= request.prompt_tokens:
+                system.metrics.bump("rerouted_prefill")
+                return Route.ASSIST
+            return Route.PREFILL  # parks in the waiting queue until recovery
         if not cfg.dispatch_enabled:
             return Route.PREFILL
         slo = system.config.slo
@@ -79,6 +88,8 @@ class Coordinator:
         """
         system = self.system
         decode = system.decode_instance
+        if decode.failed:
+            return 0
         cfg = system.ws_config
         in_flight = decode.assist.in_flight_tokens()
         budget_left = system.assist_budget_tokens - in_flight

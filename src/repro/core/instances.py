@@ -99,7 +99,7 @@ class WindServePrefillInstance(Instance):
         transfer_launched = False
         for request, chunk in plan:
             if (
-                request.prefilled_tokens + chunk >= request.prompt_tokens
+                request.prefilled_tokens + chunk >= request.prefill_required
                 and request.output_tokens > 1
             ):
                 if self._system.prepare_async_handoff(request):
@@ -140,6 +140,13 @@ class WindServePrefillInstance(Instance):
             request.prefilled_tokens += chunk
             if request.prefill_done:
                 self.prefilling.remove(request)
+                if request.output_generated:
+                    # Crash-recovery re-prefill over the full context: the
+                    # request already emitted tokens, so resume decoding
+                    # without resetting its first-token timestamp.
+                    request.decode_queue_enter = now
+                    self._system.complete_handoff(request)
+                    continue
                 request.first_token_time = now
                 request.output_generated = 1
                 if request.output_tokens <= 1:

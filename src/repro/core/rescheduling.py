@@ -55,6 +55,8 @@ class MigrationManager:
             return
         decode = self.system.decode_instance
         prefill = self.system.prefill_instance
+        if decode.failed or prefill.failed:
+            return
         total = decode.kv.gpu_capacity_blocks
         if total <= 0:
             return
@@ -131,6 +133,8 @@ class MigrationManager:
         if system.halted:
             return
         request = state.request
+        if self.active.get(request.request_id) is not state:
+            return  # cancelled by a crash or transfer-failure handler
         if request.finished:
             self._abort(state)
             return
@@ -166,6 +170,8 @@ class MigrationManager:
         if system.halted:
             return
         request = state.request
+        if self.active.get(request.request_id) is not state:
+            return  # cancelled by a crash or transfer-failure handler
         self.active.pop(request.request_id, None)
         request.extra.pop("migrating", None)
         if request.finished:  # defensive: cannot normally finish while paused
@@ -193,6 +199,61 @@ class MigrationManager:
         request.extra.pop("migrating", None)
         self.system.prefill_instance.kv.free(request.request_id)
         self.system.metrics.bump("reschedule_aborted")
+
+    # -- failure handling -------------------------------------------------------
+
+    def handle_instance_failure(self, instance) -> list[Request]:
+        """Cancel migrations touching a crashed ``instance``.
+
+        Returns the requests that are now orphaned (their only live KV copy
+        died mid-migration) so the system can re-queue them.  Requests whose
+        surviving-side copy is complete are resumed in place instead.
+        """
+        system = self.system
+        decode = system.decode_instance
+        prefill = system.prefill_instance
+        rescued: list[Request] = []
+        for state in list(self.active.values()):
+            request = state.request
+            self.active.pop(request.request_id, None)
+            request.extra.pop("migrating", None)
+            if instance is decode:
+                # Source died: the decode-side KV (the authoritative copy)
+                # is gone and the prefill-side copy is incomplete.
+                if not prefill.failed and prefill.kv.has(request.request_id):
+                    prefill.kv.free(request.request_id)
+                if not request.finished:
+                    rescued.append(request)
+            else:
+                # Destination died (its partial copy was freed by ``fail``).
+                # A leg-1 request is still decoding normally; a paused leg-2
+                # request resumes on the decode instance, whose KV is intact.
+                if not request.finished and request.phase is Phase.MIGRATING:
+                    decode.start_decoding(request)
+            system.metrics.bump("reschedule_aborted")
+        if instance is not decode:
+            decode.kick()
+        return rescued
+
+    def abort_transfer_failure(self, state: MigrationState) -> None:
+        """A migration leg's transfer failed permanently: cancel in place.
+
+        The decode-side KV is untouched, so the request either keeps
+        decoding (bulk leg) or resumes where it paused (residual leg).
+        """
+        system = self.system
+        request = state.request
+        if self.active.get(request.request_id) is not state:
+            return
+        self.active.pop(request.request_id, None)
+        request.extra.pop("migrating", None)
+        prefill = system.prefill_instance
+        if not prefill.failed and prefill.kv.has(request.request_id):
+            prefill.kv.free(request.request_id)
+        if not request.finished and request.phase is Phase.MIGRATING:
+            system.decode_instance.start_decoding(request)
+        system.metrics.bump("reschedule_aborted")
+        system.decode_instance.kick()
 
     # -- queries ----------------------------------------------------------------
 

@@ -113,9 +113,11 @@ class AssistStream:
         inst.sim.schedule(duration, self._complete, self.active)
 
     def _complete(self, job: AssistJob) -> None:
+        if self.active is not job:
+            return  # cancelled by a crash: the stream was rebuilt
         self.active = None
         inst = self.instance
-        if inst.halted:
+        if inst.halted or inst.failed:
             return
         request = job.request
         now = inst.sim.now

@@ -82,6 +82,11 @@ class WindServeSystem(ServingSystem):
         self.migrations = MigrationManager(self)
         self.backups: dict[int, int] = {}
         self._handoff: deque[Request] = deque()
+        # Transfer kinds whose permanent failure we can absorb by
+        # re-prefilling; swaps stall instead (nothing can replace them).
+        self.transfers.failure_kinds = frozenset(
+            {"kv-handoff", "kv-async", "migration-bulk", "migration-residual"}
+        )
 
     def _derive_assist_budget(self) -> int:
         cfg = self.ws_config
@@ -101,7 +106,9 @@ class WindServeSystem(ServingSystem):
 
     def submit(self, request: Request) -> None:
         route = self.coordinator.route_new_request(request)
-        if route is Route.ASSIST:
+        # The truth-level ``failed`` guard models the allocation RPC failing
+        # fast even before the heartbeat monitor declares the instance dead.
+        if route is Route.ASSIST and not self.decode_instance.failed:
             # KV for the dispatched prefill is written directly into the
             # decode instance — no hand-off transfer later.
             self.decode_instance.kv.allocate(request.request_id, request.prompt_tokens + 1)
@@ -119,22 +126,29 @@ class WindServeSystem(ServingSystem):
         """
         if not self.ws_config.async_transfer:
             return False
-        needed = request.prompt_tokens + 1
+        if self.decode_instance.failed:
+            return False  # cannot reserve KV on a dead instance
+        # ``prefill_required`` equals ``prompt_tokens`` on the first pass and
+        # the full live context on a post-crash recompute.
+        needed = request.prefill_required + 1
         if not self.decode_instance.kv.can_allocate(needed):
             self.metrics.bump("async_handoff_unavailable")
             return False
         self.decode_instance.kv.allocate(request.request_id, needed)
-        nbytes = int(request.prompt_tokens * self.config.model.kv_bytes_per_token)
+        nbytes = int(request.prefill_required * self.config.model.kv_bytes_per_token)
         job = self.transfers.transfer(
             nbytes,
             list(self.prefill_instance.gpus),
             list(self.decode_instance.gpus),
             kind="kv-async",
             request_id=request.request_id,
+            request=request,
         )
         # The last layer's KV can only ship after the pass finishes.
         residual = self._residual_transfer_time(nbytes)
         request.extra["handoff_ready"] = job.finish + residual
+        request.extra["handoff_src_epoch"] = self.prefill_instance.epoch
+        request.extra["handoff_dst_epoch"] = self.decode_instance.epoch
         self.metrics.bump("async_handoff")
         return True
 
@@ -154,12 +168,14 @@ class WindServeSystem(ServingSystem):
             self._handoff.append(request)
             self.pump_handoffs()
             return
+        src_epoch = request.extra.pop("handoff_src_epoch", None)
+        dst_epoch = request.extra.pop("handoff_dst_epoch", None)
         at = max(self.sim.now, ready)
-        self.sim.call_at(at, self._handoff_arrive, request)
+        self.sim.call_at(at, self._handoff_arrive, request, src_epoch, dst_epoch)
 
     def pump_handoffs(self) -> None:
         """Post-prefill (fallback) transfers, DistServe-style serialization."""
-        if self.halted:
+        if self.halted or self.prefill_instance.failed or self.decode_instance.failed:
             return
         decode = self.decode_instance
         while self._handoff:
@@ -169,22 +185,144 @@ class WindServeSystem(ServingSystem):
                 break
             self._handoff.popleft()
             decode.kv.allocate(request.request_id, request.context_tokens)
-            nbytes = int(request.prompt_tokens * self.config.model.kv_bytes_per_token)
+            # ``prefilled_tokens`` equals ``prompt_tokens`` on a first pass
+            # and the full recomputed context after crash recovery.
+            nbytes = int(request.prefilled_tokens * self.config.model.kv_bytes_per_token)
             self.transfers.transfer(
                 nbytes,
                 list(self.prefill_instance.gpus),
                 list(decode.gpus),
-                on_complete=lambda job, r=request: self._handoff_arrive(r),
+                on_complete=lambda job, r=request, se=self.prefill_instance.epoch, de=decode.epoch: self._handoff_arrive(r, se, de),
                 kind="kv-handoff",
                 request_id=request.request_id,
+                request=request,
             )
 
-    def _handoff_arrive(self, request: Request) -> None:
-        if self.halted:
+    def _handoff_arrive(
+        self,
+        request: Request,
+        src_epoch: Optional[int] = None,
+        dst_epoch: Optional[int] = None,
+    ) -> None:
+        if self.halted or request.finished:
+            return
+        if request.phase is not Phase.TRANSFERRING:
+            return  # re-queued by a failure handler while the copy flew
+        prefill, decode = self.prefill_instance, self.decode_instance
+        if src_epoch is not None and src_epoch != prefill.epoch:
+            # The source crashed mid-copy: the decode-side bytes are torn.
+            if decode.kv.has(request.request_id):
+                decode.kv.free(request.request_id)
+            self.metrics.bump("torn_handoff")
+            self._requeue_after_crash(request)
+            return
+        if decode.failed or (dst_epoch is not None and dst_epoch != decode.epoch):
+            # The destination lost its allocation: park in the blocking
+            # queue; the transfer re-runs once the instance is back.
+            self._handoff.appendleft(request)
+            self.metrics.bump("handoff_deferred")
+            self.pump_handoffs()
             return
         self._finish_prefill_side(request)
         request.phase = Phase.WAITING_DECODE
-        self.decode_instance.enqueue(request)
+        decode.enqueue(request)
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def _requeue_after_crash(self, request: Request) -> None:
+        """Re-queue a request whose decode-side KV died.
+
+        Exploits §3.3 backups: when the prefill instance still holds the
+        prompt KV, only the tokens generated since hand-off are recomputed
+        (the request re-enters the prefilling set with its backup extended);
+        otherwise the full context re-prefills from the prompt.
+        """
+        if request.finished:
+            return
+        request.extra.pop("chunk_in_flight", None)
+        request.extra.pop("handoff_ready", None)
+        request.extra.pop("handoff_src_epoch", None)
+        request.extra.pop("handoff_dst_epoch", None)
+        request.extra.pop("migrating", None)
+        prefill = self.prefill_instance
+        backed = self.backups.pop(request.request_id, 0)
+        if backed and not prefill.failed and prefill.kv.has(request.request_id):
+            request.prefill_required = request.context_tokens
+            request.prefilled_tokens = min(backed, request.context_tokens)
+            request.recompute_count += 1
+            request.phase = Phase.WAITING_PREFILL
+            prefill.prefilling.append(request)
+            self.metrics.bump("backup_restore")
+        else:
+            request.restart_prefill()
+            # Parks in the waiting queue if the prefill instance is also
+            # down; drains at its recovery.
+            prefill.waiting.append(request)
+        self._mark_requeued(request)
+        prefill.kick()
+
+    def recover_lost_requests(self, instance, lost: list[Request]) -> None:
+        if instance is self.decode_instance:
+            for request in lost:
+                self._requeue_after_crash(request)
+        else:
+            decode = self.decode_instance
+            for request in lost:
+                if request.finished:
+                    continue
+                if "handoff_ready" in request.extra and decode.kv.has(
+                    request.request_id
+                ):
+                    # An async hand-off was mid-flight when the source died:
+                    # release the decode-side reservation (the bytes are torn).
+                    decode.kv.free(request.request_id)
+                request.extra.pop("handoff_src_epoch", None)
+                request.extra.pop("handoff_dst_epoch", None)
+                self._reset_for_requeue(request)
+                self.prefill_instance.waiting.append(request)
+            self.prefill_instance.kick()
+
+    def on_instance_crashed(self, instance) -> None:
+        for request in self.migrations.handle_instance_failure(instance):
+            self._stash_orphan(instance, request)
+        if instance is self.prefill_instance:
+            # Backup KV died with the pool, and queued hand-offs lost their
+            # source copy: both must recompute from the prompt.
+            self.backups.clear()
+            while self._handoff:
+                self._stash_orphan(instance, self._handoff.popleft())
+
+    def after_recovery(self, instance) -> None:
+        instance.kick()
+        self.prefill_instance.kick()
+        self.pump_handoffs()
+
+    def on_transfer_failed(self, job) -> None:
+        request_id = job.meta.get("request_id")
+        if job.kind in ("migration-bulk", "migration-residual"):
+            state = self.migrations.active.get(request_id)
+            if state is not None:
+                self.migrations.abort_transfer_failure(state)
+            return
+        request = job.meta.get("request")
+        if request is None or request.finished:
+            return
+        decode, prefill = self.decode_instance, self.prefill_instance
+        if decode.kv.has(request_id):
+            decode.kv.free(request_id)
+        if not request.prefill_done:
+            # A kv-async copy failed while the prefill pass is still
+            # running: fall back to the post-prefill blocking hand-off.
+            request.extra.pop("handoff_ready", None)
+            request.extra.pop("handoff_src_epoch", None)
+            request.extra.pop("handoff_dst_epoch", None)
+            return
+        self.consume_backup(request)
+        if not prefill.failed and prefill.kv.has(request_id):
+            prefill.kv.free(request_id)
+        request.restart_prefill()
+        self._mark_requeued(request)
+        prefill.enqueue(request)
 
     # -- KV backups (§3.3) -----------------------------------------------------
 
@@ -193,7 +331,8 @@ class WindServeSystem(ServingSystem):
         cfg = self.ws_config
         prefill, decode = self.prefill_instance, self.decode_instance
         keep = (
-            cfg.backup_enabled
+            not prefill.failed
+            and cfg.backup_enabled
             and request.prompt_tokens >= cfg.backup_min_prompt_tokens
             and prefill.kv.gpu_capacity_blocks > 0
             and prefill.kv.free_gpu_blocks / prefill.kv.gpu_capacity_blocks

@@ -1,0 +1,41 @@
+"""Resilience tunables shared by every serving system.
+
+Kept dependency-free so ``serving.system`` can embed a
+:class:`ResilienceConfig` in :class:`~repro.serving.system.SystemConfig`
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Detection, retry, and degraded-mode knobs.
+
+    Defaults are behaviour-neutral in a fault-free run: the heartbeat
+    monitor only starts when a fault plan is armed, retries only trigger
+    when a link-outage window is installed, and shedding only happens while
+    an instance is known-failed.
+    """
+
+    # Failure detection: an instance is declared failed after
+    # ``heartbeat_miss_threshold`` consecutive missed heartbeats.
+    heartbeat_interval_s: float = 0.05
+    heartbeat_miss_threshold: int = 3
+
+    # Retry-with-backoff for KV transfers launched into a link outage.
+    transfer_retry_backoff_s: float = 0.02
+    transfer_retry_multiplier: float = 2.0
+    transfer_max_retries: int = 8
+
+    # Degraded mode: while any instance is known-failed, shed new arrivals
+    # once the in-flight population exceeds this limit.
+    shed_enabled: bool = True
+    degraded_inflight_limit: int = 96
+
+    @property
+    def detection_delay_s(self) -> float:
+        """Worst-case time from crash to declaration by the monitor."""
+        return self.heartbeat_interval_s * (self.heartbeat_miss_threshold + 1)

@@ -1,0 +1,67 @@
+"""Heartbeat-based failure detection.
+
+The global scheduler cannot observe ``Instance.failed`` directly — a real
+coordinator only sees missed heartbeats.  :class:`HeartbeatMonitor` ticks
+at a fixed interval; after ``miss_threshold`` consecutive missed beats it
+calls ``system.notice_failure(instance)``, which is when routing,
+re-queueing, and shedding react.  The window between the crash and the
+declaration is exactly the period in which requests can still be routed at
+a dead instance — the latency the resilience metrics measure.
+
+The monitor is bounded: it stops ticking after ``until`` so
+``Simulator.run_until_idle`` still terminates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.system import ServingSystem
+
+
+class HeartbeatMonitor:
+    """Declares instance failures from missed heartbeats."""
+
+    def __init__(
+        self,
+        system: "ServingSystem",
+        interval_s: float,
+        miss_threshold: int,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+        self.system = system
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self._last_beat: dict[str, float] = {}
+        self._until = 0.0
+        self._started = False
+
+    def start(self, until: float) -> None:
+        """Begin ticking; the monitor self-terminates after ``until``."""
+        self._until = until
+        if self._started:
+            return
+        self._started = True
+        for instance in self.system.instances:
+            self._last_beat[instance.name] = self.system.sim.now
+        self.system.sim.schedule(self.interval_s, self._tick)
+
+    def _tick(self) -> None:
+        system = self.system
+        now = system.sim.now
+        if system.halted:
+            return
+        stale_after = self.miss_threshold * self.interval_s
+        for instance in system.instances:
+            if not instance.failed:
+                self._last_beat[instance.name] = now
+                continue
+            last = self._last_beat.get(instance.name, now)
+            if now - last >= stale_after - 1e-12:
+                system.notice_failure(instance)
+        if now + self.interval_s <= self._until + 1e-9:
+            system.sim.schedule(self.interval_s, self._tick)

@@ -19,6 +19,13 @@ from repro.harness.differential import (
     DifferentialSpec,
     run_differential,
 )
+from repro.harness.chaos import (
+    ChaosResult,
+    ChaosSpec,
+    chaos_invariants,
+    run_chaos,
+    run_chaos_matrix,
+)
 from repro.harness.golden import (
     GOLDEN_MATRIX,
     GoldenDiff,
@@ -52,6 +59,11 @@ __all__ = [
     "DifferentialReport",
     "DifferentialSpec",
     "run_differential",
+    "ChaosResult",
+    "ChaosSpec",
+    "chaos_invariants",
+    "run_chaos",
+    "run_chaos_matrix",
     "GOLDEN_MATRIX",
     "GoldenDiff",
     "GoldenScenario",

@@ -1,0 +1,286 @@
+"""Chaos harness: fault plans x serving systems, with resilience accounting.
+
+Runs a serving system under a named :mod:`repro.faults` plan and reports how
+gracefully it degrades: goodput vs the fault-free run, detection latency,
+downtime, re-queues/sheds, and a request *completion curve* around the fault
+window.  A chaos run must never silently drop work — every submitted
+request either completes or is explicitly counted as shed by degraded-mode
+admission control — and the differential invariants (token causality,
+monotone timestamps, KV freed exactly once across crashed and recovered
+pools) still hold.  ``chaos_invariants`` turns any violation into a hard
+failure, and ``python -m repro chaos`` sweeps the matrix from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults import FaultInjector, ResilienceConfig, build_fault_plan
+from repro.harness.differential import (
+    check_monotonic_times,
+    check_token_causality,
+    clone_requests,
+    workload_rows,
+)
+from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
+from repro.models.registry import get_model
+from repro.serving.audit import audit_request
+from repro.serving.request import Phase, Request
+from repro.serving.system import ServingSystem
+from repro.workloads.datasets import get_dataset
+from repro.workloads.trace import generate_trace
+
+DEFAULT_CHAOS_SYSTEMS = ("windserve", "distserve", "vllm")
+DEFAULT_CHAOS_PLANS = ("decode-crash", "link-degrade", "straggler")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos measurement point: a workload, a system, and a fault plan."""
+
+    system: str = "windserve"
+    fault_plan: str = "decode-crash"
+    model: str = "opt-13b"
+    dataset: str = "sharegpt"
+    rate_per_gpu: float = 3.0
+    num_requests: int = 120
+    seed: int = 0
+    arrival_process: str = "poisson"
+    burstiness_cv: float = 2.0
+    resilience: Optional[ResilienceConfig] = None
+
+    def experiment(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            system=self.system,
+            model=self.model,
+            dataset=self.dataset,
+            rate_per_gpu=self.rate_per_gpu,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            arrival_process=self.arrival_process,
+            burstiness_cv=self.burstiness_cv,
+            resilience=self.resilience,
+        )
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    spec: ChaosSpec
+    submitted: int
+    completed: int
+    shed: int
+    resilience: dict
+    slo_attainment: float
+    goodput_vs_healthy: Optional[float]
+    fingerprint: str
+    plan_events: list[dict]
+    completion_curve: list[tuple[float, int]]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def row(self) -> dict:
+        """Flat dict for tabular reports."""
+        out = {
+            "system": self.spec.system,
+            "plan": self.spec.fault_plan,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "slo_attainment": self.slo_attainment,
+            "goodput_vs_healthy": self.goodput_vs_healthy,
+        }
+        out.update(
+            {
+                k: self.resilience[k]
+                for k in (
+                    "requests_requeued",
+                    "transfer_retries",
+                    "detection_latency_s",
+                    "downtime_s",
+                )
+            }
+        )
+        out["invariants"] = "ok" if self.passed else "VIOLATED"
+        return out
+
+
+# -- invariants ----------------------------------------------------------------
+
+
+def chaos_conservation(
+    submitted: Sequence[Request], completed: Sequence[Request], shed: Sequence[Request]
+) -> list[str]:
+    """Zero silent drops: submitted == completed + shed, with no overlap."""
+    problems = []
+    submitted_ids = {r.request_id for r in submitted}
+    completed_ids = [r.request_id for r in completed]
+    shed_ids = [r.request_id for r in shed]
+    duplicates = {rid for rid in completed_ids if completed_ids.count(rid) > 1}
+    if duplicates:
+        problems.append(f"requests completed more than once: {sorted(duplicates)[:5]}")
+    both = set(completed_ids) & set(shed_ids)
+    if both:
+        problems.append(f"requests both completed and shed: {sorted(both)[:5]}")
+    accounted = set(completed_ids) | set(shed_ids)
+    dropped = submitted_ids - accounted
+    if dropped:
+        problems.append(f"requests silently dropped: {sorted(dropped)[:5]}")
+    phantom = accounted - submitted_ids
+    if phantom:
+        problems.append(f"phantom request ids never submitted: {sorted(phantom)[:5]}")
+    for request in shed:
+        if request.phase is not Phase.SHED:
+            problems.append(f"request {request.request_id}: shed but phase={request.phase.value}")
+    return problems
+
+
+def chaos_kv_lifecycle(system: ServingSystem) -> list[str]:
+    """KV freed exactly once, including the pools retired by crashes."""
+    problems = []
+    for instance in system.instances:
+        managers = [(instance.kv, "kv")] + [
+            (kv, f"retired-kv#{i}") for i, kv in enumerate(instance.retired_kv)
+        ]
+        for kv, label in managers:
+            unbalanced = {
+                rid: (kv.alloc_events[rid], kv.free_events[rid])
+                for rid in set(kv.alloc_events) | set(kv.free_events)
+                if kv.alloc_events[rid] != kv.free_events[rid]
+            }
+            if unbalanced:
+                sample = dict(sorted(unbalanced.items())[:5])
+                problems.append(
+                    f"{instance.name}/{label}: alloc/free imbalance "
+                    f"(rid -> allocs,frees) {sample}"
+                )
+            if kv.used_gpu_blocks != 0:
+                problems.append(
+                    f"{instance.name}/{label}: {kv.used_gpu_blocks} GPU KV blocks leaked"
+                )
+    return problems
+
+
+def chaos_invariants(
+    system: ServingSystem, submitted: Sequence[Request]
+) -> list[str]:
+    """Every invariant a chaos run must keep, shed-aware."""
+    completed = system.metrics.completed
+    shed = system.metrics.shed
+    problems = chaos_conservation(submitted, completed, shed)
+    problems.extend(check_token_causality(completed))
+    problems.extend(check_monotonic_times(completed))
+    problems.extend(chaos_kv_lifecycle(system))
+    for request in completed:
+        problems.extend(audit_request(request))
+    for instance in system.instances:
+        if instance.failed:
+            problems.append(f"{instance.name}: still failed after the drain")
+        if instance.waiting:
+            problems.append(
+                f"{instance.name}: {len(instance.waiting)} requests stuck waiting"
+            )
+        if instance.total_running:
+            problems.append(
+                f"{instance.name}: {instance.total_running} requests stuck running"
+            )
+    if system.known_failed:
+        problems.append(f"failure knowledge never cleared: {sorted(system.known_failed)}")
+    return problems
+
+
+# -- the runner ----------------------------------------------------------------
+
+
+def completion_curve(
+    completed: Sequence[Request], horizon: float, bins: int = 20
+) -> list[tuple[float, int]]:
+    """Cumulative completions sampled at ``bins`` points across the run."""
+    if horizon <= 0 or not completed:
+        return []
+    finishes = np.sort(
+        np.asarray([r.finish_time for r in completed if r.finish_time is not None])
+    )
+    edges = np.linspace(horizon / bins, horizon, bins)
+    counts = np.searchsorted(finishes, edges, side="right")
+    return [(float(t), int(n)) for t, n in zip(edges, counts)]
+
+
+def run_chaos(
+    spec: ChaosSpec, healthy_completed: Optional[int] = None
+) -> ChaosResult:
+    """Run one chaos point to completion and check its invariants.
+
+    ``healthy_completed`` is the completion count of the same spec run under
+    the ``"none"`` plan; when given, ``goodput_vs_healthy`` reports the
+    degradation ratio.
+    """
+    experiment = spec.experiment()
+    system = build_system(experiment, resolve_slo(experiment))
+    workload = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * experiment.gpus_used,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        arrival_process=spec.arrival_process,
+        burstiness_cv=spec.burstiness_cv,
+    )
+    submitted = clone_requests(workload_rows(workload))
+    horizon = max(r.arrival_time for r in submitted)
+    plan = build_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
+    FaultInjector(system, plan).arm()
+    metrics = system.run_to_completion(submitted)
+
+    slo = resolve_slo(experiment)
+    completed = len(metrics.completed)
+    goodput = None
+    if healthy_completed:
+        good = sum(slo.met_by(r) for r in metrics.completed)
+        goodput = good / healthy_completed
+    return ChaosResult(
+        spec=spec,
+        submitted=len(submitted),
+        completed=completed,
+        shed=len(metrics.shed),
+        resilience=metrics.resilience_summary(),
+        slo_attainment=metrics.slo_attainment(slo),
+        goodput_vs_healthy=goodput,
+        fingerprint=system.run_fingerprint(workload.rng_registry).value,
+        plan_events=plan.describe(),
+        completion_curve=completion_curve(metrics.completed, metrics.horizon),
+        violations=chaos_invariants(system, submitted),
+    )
+
+
+def run_chaos_matrix(
+    systems: Sequence[str] = DEFAULT_CHAOS_SYSTEMS,
+    plans: Sequence[str] = DEFAULT_CHAOS_PLANS,
+    **spec_kwargs,
+) -> list[ChaosResult]:
+    """Sweep fault plans across systems, with a per-system healthy baseline.
+
+    Each system first runs the ``"none"`` plan (same workload, no faults) to
+    anchor ``goodput_vs_healthy``; the baseline rows are included.
+    """
+    results = []
+    for system in systems:
+        baseline = run_chaos(ChaosSpec(system=system, fault_plan="none", **spec_kwargs))
+        results.append(baseline)
+        for plan in plans:
+            if plan == "none":
+                continue
+            results.append(
+                run_chaos(
+                    ChaosSpec(system=system, fault_plan=plan, **spec_kwargs),
+                    healthy_completed=baseline.completed,
+                )
+            )
+    return results

@@ -50,6 +50,14 @@ GOLDEN_TAGS = frozenset(
         "migration-done",
         "assist-start",
         "assist-done",
+        # Fault-injection lifecycle + recovery decisions (chaos scenarios).
+        "fault-inject",
+        "fault-clear",
+        "fault-detect",
+        "fault-recover",
+        "request-requeue",
+        "request-shed",
+        "transfer-retry",
     }
 )
 
@@ -73,6 +81,8 @@ class GoldenScenario:
     # recompute preemptions, WindServe rescheduling) into the golden trace.
     kv_override_tokens: Optional[int] = None
     decode_parallel: tuple[int, int] = (2, 1)
+    # Chaos cells: inject this named fault plan (see repro.faults.plan).
+    fault_plan: Optional[str] = None
 
     def spec(self) -> ExperimentSpec:
         instance = InstanceConfig()
@@ -106,6 +116,7 @@ class GoldenScenario:
             "burstiness_cv": self.burstiness_cv,
             "kv_override_tokens": self.kv_override_tokens,
             "decode_parallel": list(self.decode_parallel),
+            "fault_plan": self.fault_plan,
         }
 
 
@@ -140,6 +151,29 @@ def _matrix() -> tuple[GoldenScenario, ...]:
                 decode_parallel=(1, 1),
             )
         )
+    # Chaos cells: pin the failure-detection, re-queue, and retry paths so a
+    # scheduler change cannot silently alter recovery behaviour.
+    cells.append(
+        GoldenScenario(
+            name="windserve-chaos-crash-s1",
+            system="windserve",
+            rate_per_gpu=3.0,
+            seed=1,
+            num_requests=40,
+            fault_plan="decode-crash",
+        )
+    )
+    cells.append(
+        GoldenScenario(
+            name="windserve-chaos-linkdeg-s2",
+            system="windserve",
+            rate_per_gpu=3.0,
+            seed=2,
+            num_requests=40,
+            arrival_process="bursty",
+            fault_plan="link-degrade",
+        )
+    )
     return tuple(cells)
 
 
@@ -167,6 +201,7 @@ def run_scenario(scenario: GoldenScenario) -> GoldenRun:
     # stream, and instances share the system's TraceLog object.
     golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
     system.trace = golden_log
+    system.transfers.trace = golden_log
     for instance in system.instances:
         instance.trace = golden_log
     workload = generate_trace(
@@ -178,6 +213,12 @@ def run_scenario(scenario: GoldenScenario) -> GoldenRun:
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
     )
+    if scenario.fault_plan is not None:
+        from repro.faults import FaultInjector, build_fault_plan
+
+        horizon = max(r.arrival_time for r in workload)
+        plan = build_fault_plan(scenario.fault_plan, horizon, seed=spec.seed)
+        FaultInjector(system, plan).arm()
     system.run_to_completion(workload)
     return GoldenRun(
         scenario=scenario,

@@ -11,7 +11,9 @@ def _fmt(value: Any, precision: int) -> str:
         return "-"
     if isinstance(value, float):
         if math.isnan(value):
-            return "nan"
+            # Undefined statistic (e.g. a percentile of zero completions in a
+            # degraded/chaos run): render as a dash, not "nan".
+            return "-"
         return f"{value:.{precision}f}"
     return str(value)
 

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.baselines.distserve import DistServeSystem
 from repro.baselines.vllm import VLLMSystem
 from repro.core.config import WindServeConfig
+from repro.faults.config import ResilienceConfig
 from repro.core.windserve import WindServeSystem
 from repro.hardware.gpu import GPUSpec, A800_80GB
 from repro.hardware.topology import NodeTopology
@@ -57,6 +58,7 @@ class ExperimentSpec:
     gpu: GPUSpec = A800_80GB
     arrival_process: str = "poisson"
     burstiness_cv: float = 2.0
+    resilience: Optional[ResilienceConfig] = None  # None -> defaults
 
     @property
     def prefill_cfg(self) -> ParallelConfig:
@@ -122,6 +124,7 @@ def build_system(spec: ExperimentSpec, slo: Optional[SLO] = None) -> ServingSyst
         slo=slo,
         instance=spec.instance_config,
         decode_instance=spec.decode_instance_config,
+        resilience=spec.resilience or ResilienceConfig(),
     )
 
     if spec.system == "vllm":

@@ -13,10 +13,24 @@ switches — the contention at the heart of the paper's Fig. 1 motivation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.hardware.topology import NodeTopology
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.links import LinkFaultModel
+    from repro.serving.metrics import MetricsCollector
+    from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transfers launched into a link outage."""
+
+    backoff_s: float = 0.02
+    multiplier: float = 2.0
+    max_retries: int = 8
 
 
 @dataclass
@@ -40,12 +54,30 @@ class TransferJob:
 class KVTransferEngine:
     """Schedules KV copies over the node topology."""
 
-    def __init__(self, sim: Simulator, topology: NodeTopology) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: NodeTopology,
+        metrics: Optional["MetricsCollector"] = None,
+        trace: Optional["TraceLog"] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.sim = sim
         self.topology = topology
         self._next_id = 0
         self.completed: list[TransferJob] = []
+        self.failed: list[TransferJob] = []
         self.bytes_moved = 0
+        self.metrics = metrics
+        self.trace = trace
+        self.retry = retry or RetryPolicy()
+        # Installed by the fault injector; None in fault-free runs.
+        self.fault_model: Optional["LinkFaultModel"] = None
+        # Permanent-failure escalation: kinds whose loss the owning system
+        # can absorb get ``on_failure(job)``; everything else (e.g. swaps)
+        # stalls until the path recovers instead of failing.
+        self.on_failure: Optional[Callable[[TransferJob], None]] = None
+        self.failure_kinds: frozenset[str] = frozenset()
 
     # -- planning ---------------------------------------------------------
 
@@ -79,14 +111,22 @@ class KVTransferEngine:
             raise ValueError("negative transfer size")
         pairs = self._pairs(src_gpus, dst_gpus)
         per_pair = int(nbytes / len(pairs)) if nbytes else 0
-        now = self.sim.now
-        finish = now
+        paths = [self.topology.path(s, d) for s, d in pairs]
+        links = {link.name: link for path in paths for link in path.links}
+        attempt, gave_up = self._resolve_outages(list(links.values()), kind, meta)
+        if gave_up:
+            return self._fail_job(
+                nbytes, tuple(src_gpus), tuple(dst_gpus), attempt, kind, meta
+            )
+        finish = attempt
         start = None
-        for s, d in pairs:
-            res = self.topology.path(s, d).reserve(now, per_pair)
+        for path in paths:
+            res = path.reserve(attempt, per_pair)
             finish = max(finish, res.finish)
             start = res.start if start is None else min(start, res.start)
-        job = self._make_job(nbytes, tuple(src_gpus), tuple(dst_gpus), start or now, finish, kind, meta)
+        job = self._make_job(
+            nbytes, tuple(src_gpus), tuple(dst_gpus), start or attempt, finish, kind, meta
+        )
         self._finalize(job, on_complete)
         return job
 
@@ -106,15 +146,83 @@ class KVTransferEngine:
         if not gpus:
             raise ValueError("need at least one GPU")
         per_gpu = int(nbytes / len(gpus)) if nbytes else 0
-        now = self.sim.now
-        finish = now
+        paths = [self.topology.host_path(g) for g in gpus]
+        links = {link.name: link for path in paths for link in path.links}
+        attempt, gave_up = self._resolve_outages(list(links.values()), kind, meta)
+        if gave_up:
+            return self._fail_job(nbytes, tuple(gpus), ("host",), attempt, kind, meta)  # type: ignore[arg-type]
+        finish = attempt
         start = None
-        for g in gpus:
-            res = self.topology.host_path(g).reserve(now, per_gpu)
+        for path in paths:
+            res = path.reserve(attempt, per_gpu)
             finish = max(finish, res.finish)
             start = res.start if start is None else min(start, res.start)
-        job = self._make_job(nbytes, tuple(gpus), ("host",), start or now, finish, kind, meta)  # type: ignore[arg-type]
+        job = self._make_job(nbytes, tuple(gpus), ("host",), start or attempt, finish, kind, meta)  # type: ignore[arg-type]
         self._finalize(job, on_complete)
+        return job
+
+    # -- outage handling (retry with backoff) -------------------------------------
+
+    def _resolve_outages(self, links: list, kind: str, meta: dict) -> tuple[float, bool]:
+        """Walk the retry schedule through any outage windows on ``links``.
+
+        Returns ``(attempt_time, gave_up)``.  The schedule is computed
+        synchronously from the installed outage windows, so the returned
+        job's ``finish`` is valid immediately — no call site changes.  When
+        retries are exhausted, kinds listed in ``failure_kinds`` fail
+        permanently (``gave_up=True``); all others stall until the path
+        recovers, because nobody could absorb the loss.
+        """
+        now = self.sim.now
+        model = self.fault_model
+        if model is None or not model.is_down(now, links):
+            return now, False
+        policy = self.retry
+        attempt, retries = now, 0
+        while model.is_down(attempt, links):
+            if retries >= policy.max_retries:
+                if self.on_failure is not None and kind in self.failure_kinds:
+                    self._record_retries(retries, kind, meta)
+                    return attempt, True
+                attempt = model.up_after(attempt, links)
+                if self.metrics is not None:
+                    self.metrics.bump("transfer_stalled")
+                break
+            attempt += policy.backoff_s * policy.multiplier**retries
+            retries += 1
+        self._record_retries(retries, kind, meta)
+        return attempt, False
+
+    def _record_retries(self, retries: int, kind: str, meta: dict) -> None:
+        if not retries:
+            return
+        if self.metrics is not None:
+            self.metrics.bump("transfer_retries", retries)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now,
+                "transfers",
+                "transfer-retry",
+                kind=kind,
+                retries=retries,
+                request_id=meta.get("request_id"),
+            )
+
+    def _fail_job(
+        self, nbytes: int, src: tuple, dst: tuple, at: float, kind: str, meta: dict
+    ) -> TransferJob:
+        """Report a permanently failed transfer to the owning system."""
+        job = self._make_job(nbytes, src, dst, at, at, kind, meta)
+        job.meta["failed"] = True
+
+        def _report() -> None:
+            self.failed.append(job)
+            if self.metrics is not None:
+                self.metrics.bump("transfer_failed")
+            assert self.on_failure is not None
+            self.on_failure(job)
+
+        self.sim.call_at(at, _report)
         return job
 
     # -- internals ---------------------------------------------------------------

@@ -59,6 +59,9 @@ class Lane:
         self.busy = False
         self.busy_until = 0.0
         self.running: list[Request] = []
+        # The batch in flight; pure-prefill batch members may live in no
+        # other pool, so crash handling must be able to find them here.
+        self.current_batch: Optional[Batch] = None
 
     @property
     def batch_size(self) -> int:
@@ -116,6 +119,15 @@ class Instance:
         self._swapping_in: set[int] = set()
         self.paused_until = 0.0
         self.halted = False  # failure injection: drop all future work
+        # Recoverable-failure state (chaos injection).  ``failed`` is ground
+        # truth (transport-level guards); schedulers must instead consult
+        # ``system.known_failed``, filled at heartbeat detection.  ``epoch``
+        # increments on every fail so stale completions/transfer callbacks
+        # from before a crash can be recognised and dropped.
+        self.failed = False
+        self.epoch = 0
+        self.compute_slowdown = 1.0  # straggler injection; 1.0 == healthy
+        self.retired_kv: list[KVBlockManager] = []
 
     # -- construction helpers ----------------------------------------------
 
@@ -158,7 +170,7 @@ class Instance:
 
     def kick(self) -> None:
         """Try to start work on every idle lane."""
-        if self.halted:
+        if self.halted or self.failed:
             return
         if self.sim.now < self.paused_until - 1e-12:
             return  # replanning stall: whoever paused us schedules the resume
@@ -173,11 +185,15 @@ class Instance:
 
     def _execute(self, lane: Lane, batch: Batch) -> None:
         lane.busy = True
-        lane.busy_until = self.sim.now + batch.duration
+        lane.current_batch = batch
+        # ``* 1.0`` is bit-exact: healthy runs are byte-identical to runs
+        # without the straggler machinery.
+        duration = batch.duration * self.compute_slowdown
+        lane.busy_until = self.sim.now + duration
         if batch.timing is not None:
             self.metrics.record_batch(
                 self.name,
-                batch.duration,
+                duration,
                 batch.timing.compute_time,
                 batch.timing.io_time,
                 lanes=len(self.lanes),
@@ -189,13 +205,16 @@ class Instance:
             kind=batch.kind,
             prefill_tokens=batch.prefill_tokens,
             decode_batch=batch.decode_batch_size,
-            duration=batch.duration,
+            duration=duration,
         )
-        self.sim.schedule(batch.duration, self._complete, lane, batch)
+        self.sim.schedule(duration, self._complete, lane, batch, self.epoch)
 
-    def _complete(self, lane: Lane, batch: Batch) -> None:
+    def _complete(self, lane: Lane, batch: Batch, epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self.epoch:
+            return  # launched before a crash; the results died with the node
         lane.busy = False
-        if self.halted:
+        lane.current_batch = None
+        if self.halted or self.failed:
             return  # the node died mid-batch; results are lost
         self._on_batch_complete(lane, batch)
         self.kick()
@@ -333,7 +352,7 @@ class Instance:
 
     def _swap_in_done(self, request: Request) -> None:
         self._swapping_in.discard(request.request_id)
-        if self.halted:
+        if self.halted or self.failed:
             return
         if request.finished or not self.kv.has(request.request_id):
             return  # retired or migrated away while the copy was in flight
@@ -342,6 +361,96 @@ class Instance:
         self.start_decoding(request)
         self.trace.emit(self.sim.now, self.name, "swap-in", request_id=request.request_id)
         self.kick()
+
+    # -- recoverable failures (chaos injection) ----------------------------------
+
+    def fail(self) -> list[Request]:
+        """Crash this instance: all resident KV and in-flight work is lost.
+
+        Returns the unfinished requests that were resident here so the
+        system can stash them for re-queueing once the failure is
+        *detected* (schedulers do not learn of the crash until the
+        heartbeat monitor declares it).  Unlike :meth:`ServingSystem.halt`,
+        a failed instance can later :meth:`recover`.
+        """
+        if self.failed or self.halted:
+            return []
+        self.failed = True
+        self.epoch += 1
+        lost: dict[int, Request] = {}
+
+        def collect(requests) -> None:
+            for request in requests:
+                if request is not None and not request.finished:
+                    lost.setdefault(request.request_id, request)
+
+        for lane in self.lanes:
+            collect(lane.running)
+            if lane.current_batch is not None:
+                # Pure-prefill batch members live in no other pool.
+                collect(lane.current_batch.prefill_requests)
+                collect(lane.current_batch.decode_requests)
+                lane.current_batch = None
+            lane.running.clear()
+            lane.busy = False
+            lane.busy_until = 0.0
+        collect(self.waiting)
+        self.waiting.clear()
+        collect(self.swapped)
+        self.swapped.clear()
+        self._swapping_in.clear()
+        prefilling = getattr(self, "prefilling", None)
+        if prefilling is not None:
+            collect(list(prefilling))
+            prefilling.clear()
+        assist = getattr(self, "assist", None)
+        if assist is not None:
+            collect(list(assist.queue))
+            assist.queue.clear()
+            if assist.active is not None:
+                collect([assist.active.request])
+                assist.active = None
+        # HBM contents are gone: free every allocation (GPU and CPU-swap)
+        # so the pool's alloc/free ledger stays balanced.
+        from repro.kvcache.blocks import BlockLocation
+
+        for alloc in self.kv.residents(BlockLocation.GPU) + self.kv.residents(
+            BlockLocation.CPU
+        ):
+            self.kv.free(alloc.request_id)
+        self.metrics.bump("instance_crash")
+        return list(lost.values())
+
+    def recover(self) -> None:
+        """Bring a failed instance back with an empty, fresh KV pool."""
+        if not self.failed:
+            return
+        self.failed = False
+        # Keep the (fully freed) crashed pool so post-run audits can check
+        # the KV ledger across the instance's whole history.
+        self.retired_kv.append(self.kv)
+        self.kv = KVBlockManager(
+            gpu_capacity_tokens=self._kv_capacity_tokens(),
+            cpu_capacity_tokens=int(
+                self.config.cpu_swap_gb * GB / self.spec.kv_bytes_per_token
+            ),
+            block_size=self.config.block_size,
+            bytes_per_token=self.spec.kv_bytes_per_token,
+        )
+        self.lanes = [Lane(i) for i in range(self.parallel.pp)]
+        self.swapped = []
+        self._swapping_in = set()
+        self.metrics.bump("instance_recover")
+        if self.system is not None:
+            self.system.on_instance_recovered(self)
+        self.kick()
+
+    def sweep_waiting(self) -> list[Request]:
+        """Drain the waiting queue (arrivals routed here between the crash
+        and its detection); the system re-queues them elsewhere."""
+        lost = [r for r in self.waiting if not r.finished]
+        self.waiting.clear()
+        return lost
 
     # -- reconfiguration (replanning restarts) ----------------------------------
 

@@ -94,14 +94,25 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.completed: list[Request] = []
+        self.shed: list[Request] = []
         self.counters: Counter[str] = Counter()
         self.utilization: dict[str, UtilizationSample] = {}
+        self.fault_events: list[dict] = []
         self.horizon: float = 0.0
 
     # -- recording ---------------------------------------------------------
 
     def record_completion(self, request: Request) -> None:
         self.completed.append(request)
+
+    def record_shed(self, request: Request) -> None:
+        """Degraded-mode admission control rejected ``request``."""
+        self.shed.append(request)
+        self.counters["requests_shed"] += 1
+
+    def record_fault_event(self, kind: str, target: str, time: float) -> None:
+        """Log one fault-lifecycle event (crash/detect/recover/...)."""
+        self.fault_events.append({"kind": kind, "target": target, "time": time})
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] += amount
@@ -173,3 +184,40 @@ class MetricsCollector:
             out["ttft_attainment"] = self.ttft_attainment(slo)
             out["tpot_attainment"] = self.tpot_attainment(slo)
         return out
+
+    # -- resilience ----------------------------------------------------------
+
+    def detection_latencies(self) -> list[float]:
+        """Crash -> declared-failed delay, per detected crash."""
+        return self._fault_deltas("crash", "detect")
+
+    def recovery_times(self) -> list[float]:
+        """Crash -> recovered delay (downtime), per recovered crash."""
+        return self._fault_deltas("crash", "recover")
+
+    def _fault_deltas(self, start_kind: str, end_kind: str) -> list[float]:
+        open_at: dict[str, float] = {}
+        deltas: list[float] = []
+        for event in self.fault_events:
+            if event["kind"] == start_kind:
+                open_at.setdefault(event["target"], event["time"])
+            elif event["kind"] == end_kind and event["target"] in open_at:
+                deltas.append(event["time"] - open_at.pop(event["target"]))
+        return deltas
+
+    def resilience_summary(self) -> dict:
+        """Flat dict of fault/recovery accounting (all zero fault-free)."""
+        detections = self.detection_latencies()
+        recoveries = self.recovery_times()
+        return {
+            "instance_crashes": self.counters.get("instance_crash", 0),
+            "requests_requeued": self.counters.get("crash_requeued", 0),
+            "requests_shed": len(self.shed),
+            "transfer_retries": self.counters.get("transfer_retries", 0),
+            "transfers_failed": self.counters.get("transfer_failed", 0),
+            "torn_handoffs": self.counters.get("torn_handoff", 0),
+            "detection_latency_s": (
+                float(np.mean(detections)) if detections else 0.0
+            ),
+            "downtime_s": float(np.sum(recoveries)) if recoveries else 0.0,
+        }

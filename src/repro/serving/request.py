@@ -26,6 +26,7 @@ class Phase(enum.Enum):
     SWAPPED = "swapped"
     MIGRATING = "migrating"
     FINISHED = "finished"
+    SHED = "shed"  # rejected by degraded-mode admission control
 
 
 @dataclass

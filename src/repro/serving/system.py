@@ -11,13 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.faults.config import ResilienceConfig
 from repro.hardware.gpu import GPUSpec, A800_80GB
 from repro.hardware.topology import NodeTopology
-from repro.kvcache.transfer import KVTransferEngine
+from repro.kvcache.transfer import KVTransferEngine, RetryPolicy, TransferJob
 from repro.models.spec import ModelSpec
 from repro.serving.instance import Instance, InstanceConfig
 from repro.serving.metrics import SLO, MetricsCollector
-from repro.serving.request import Request
+from repro.serving.request import Phase, Request
 from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
@@ -33,6 +34,7 @@ class SystemConfig:
     instance: InstanceConfig = field(default_factory=InstanceConfig)
     decode_instance: Optional[InstanceConfig] = None  # falls back to `instance`
     trace_enabled: bool = False
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     @property
     def decode_instance_config(self) -> InstanceConfig:
@@ -54,11 +56,29 @@ class ServingSystem:
         self.sim = sim or Simulator()
         self.topology = topology or NodeTopology(gpu=config.gpu)
         self.metrics = MetricsCollector()
-        self.transfers = KVTransferEngine(self.sim, self.topology)
         self.trace = TraceLog(enabled=config.trace_enabled)
+        res = config.resilience
+        self.transfers = KVTransferEngine(
+            self.sim,
+            self.topology,
+            metrics=self.metrics,
+            trace=self.trace,
+            retry=RetryPolicy(
+                backoff_s=res.transfer_retry_backoff_s,
+                multiplier=res.transfer_retry_multiplier,
+                max_retries=res.transfer_max_retries,
+            ),
+        )
+        self.transfers.on_failure = self.on_transfer_failed
         self.instances: list[Instance] = []
         self.submitted = 0
         self.halted = False
+        # Scheduler-visible failure knowledge (filled at heartbeat
+        # detection, cleared at recovery) — distinct from the ground-truth
+        # ``Instance.failed`` flag.
+        self.known_failed: set[str] = set()
+        # Requests orphaned by a crash, held until the failure is detected.
+        self._orphans: dict[str, list[Request]] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -82,6 +102,119 @@ class ServingSystem:
 
     def on_kv_dropped(self, request: Request, instance: Instance) -> None:
         """Hook: a restart/reconfiguration lost a request's KV entirely."""
+
+    # -- recoverable failures (chaos injection) -----------------------------------
+
+    def is_down(self, instance: Instance) -> bool:
+        """Scheduler-visible failure state (post heartbeat detection)."""
+        return instance.name in self.known_failed
+
+    def register_crash(self, instance: Instance, lost: list[Request]) -> None:
+        """Crash-time bookkeeping.  Transport-level state is cleaned up
+        immediately (torn transfers, dead allocations); schedulers stay
+        oblivious until :meth:`notice_failure`."""
+        for request in lost:
+            self._stash_orphan(instance, request)
+        self.metrics.record_fault_event("crash", instance.name, self.sim.now)
+        self.on_instance_crashed(instance)
+
+    def _stash_orphan(self, instance: Instance, request: Request) -> None:
+        bucket = self._orphans.setdefault(instance.name, [])
+        if all(r.request_id != request.request_id for r in bucket):
+            bucket.append(request)
+
+    def on_instance_crashed(self, instance: Instance) -> None:
+        """Hook: transport-level cleanup at crash time (subclasses)."""
+
+    def notice_failure(self, instance: Instance) -> None:
+        """The heartbeat monitor declared ``instance`` failed: re-route."""
+        if self.halted or instance.name in self.known_failed:
+            return
+        self.known_failed.add(instance.name)
+        self.metrics.record_fault_event("detect", instance.name, self.sim.now)
+        self.trace.emit(
+            self.sim.now, "resilience", "fault-detect", instance=instance.name
+        )
+        orphans = self._orphans.pop(instance.name, [])
+        # Arrivals routed here between the crash and its detection.
+        for request in instance.sweep_waiting():
+            if all(r.request_id != request.request_id for r in orphans):
+                orphans.append(request)
+        if orphans:
+            self.recover_lost_requests(instance, orphans)
+
+    def on_instance_recovered(self, instance: Instance) -> None:
+        """``instance.recover()`` announced itself: re-queue leftovers."""
+        self.known_failed.discard(instance.name)
+        self.metrics.record_fault_event("recover", instance.name, self.sim.now)
+        self.trace.emit(
+            self.sim.now, "resilience", "fault-recover", instance=instance.name
+        )
+        orphans = self._orphans.pop(instance.name, [])
+        if orphans:
+            self.recover_lost_requests(instance, orphans)
+        self.after_recovery(instance)
+
+    def recover_lost_requests(self, instance: Instance, lost: list[Request]) -> None:
+        """Re-queue requests whose KV died with ``instance``.
+
+        Default policy: re-prefill from the prompt on the same instance
+        (work parks in its waiting queue and drains at recovery).
+        Subclasses re-route to surviving instances instead.
+        """
+        for request in lost:
+            if request.finished:
+                continue
+            self._reset_for_requeue(request)
+            instance.waiting.append(request)
+        instance.kick()
+
+    def _reset_for_requeue(self, request: Request) -> None:
+        """Roll a crash-orphaned request back to a clean re-prefill state."""
+        request.extra.pop("chunk_in_flight", None)
+        request.extra.pop("handoff_ready", None)
+        request.extra.pop("migrating", None)
+        if (
+            request.phase is not Phase.WAITING_PREFILL
+            or request.prefilled_tokens
+            or request.output_generated
+        ):
+            request.restart_prefill()
+            self._mark_requeued(request)
+
+    def _mark_requeued(self, request: Request) -> None:
+        # Decode-side timing restarts with the re-queue (TTFT keeps the
+        # first token the client actually saw).
+        request.decode_queue_enter = None
+        request.decode_start = None
+        self.metrics.bump("crash_requeued")
+        self.trace.emit(
+            self.sim.now, "resilience", "request-requeue", request_id=request.request_id
+        )
+
+    def after_recovery(self, instance: Instance) -> None:
+        """Hook: restart stalled pipelines once ``instance`` is back."""
+        instance.kick()
+
+    def on_transfer_failed(self, job: TransferJob) -> None:
+        """Hook: a KV transfer exhausted its retries (subclasses)."""
+
+    # -- degraded-mode admission control ------------------------------------------
+
+    def _should_shed(self) -> bool:
+        res = self.config.resilience
+        if not res.shed_enabled or not self.known_failed:
+            return False
+        in_flight = self.submitted - len(self.metrics.completed) - len(self.metrics.shed)
+        return in_flight > res.degraded_inflight_limit
+
+    def _shed(self, request: Request) -> None:
+        request.phase = Phase.SHED
+        request.extra["shed_time"] = self.sim.now
+        self.metrics.record_shed(request)
+        self.trace.emit(
+            self.sim.now, "resilience", "request-shed", request_id=request.request_id
+        )
 
     # -- failure injection -------------------------------------------------------
 
@@ -131,6 +264,9 @@ class ServingSystem:
 
     def _arrive(self, request: Request) -> None:
         self.submitted += 1
+        if self._should_shed():
+            self._shed(request)
+            return
         self.submit(request)
 
     def run(self, until: Optional[float] = None) -> None:

@@ -1,0 +1,81 @@
+"""Tests for deterministic fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_PLAN_NAMES,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    MIN_DOWNTIME_S,
+    build_fault_plan,
+)
+
+
+class TestBuildPlan:
+    def test_known_names(self):
+        for name in ("none", "decode-crash", "link-degrade", "mixed"):
+            assert name in FAULT_PLAN_NAMES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            build_fault_plan("meteor-strike", 10.0)
+
+    def test_negative_horizon_raises(self):
+        with pytest.raises(ValueError, match="horizon"):
+            build_fault_plan("decode-crash", -1.0)
+
+    def test_none_plan_is_empty(self):
+        plan = build_fault_plan("none", 10.0)
+        assert plan.events == ()
+        assert plan.horizon == 0.0
+
+    def test_every_plan_builds(self):
+        for name in FAULT_PLAN_NAMES:
+            plan = build_fault_plan(name, 12.0, seed=3)
+            for event in plan.events:
+                assert event.time >= 0
+                assert event.duration > 0
+
+    def test_events_sorted_by_time(self):
+        plan = build_fault_plan("mixed", 20.0, seed=1)
+        times = [e.time for e in plan.events]
+        assert times == sorted(times)
+
+    def test_downtime_floored_for_tiny_horizons(self):
+        plan = build_fault_plan("decode-crash", 0.01)
+        assert plan.events[0].duration >= MIN_DOWNTIME_S
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = build_fault_plan("mixed", 15.0, seed=42)
+        b = build_fault_plan("mixed", 15.0, seed=42)
+        assert a.events == b.events
+
+    def test_seed_jitters_timing(self):
+        a = build_fault_plan("decode-crash", 15.0, seed=0)
+        b = build_fault_plan("decode-crash", 15.0, seed=1)
+        assert a.events[0].time != b.events[0].time
+
+
+class TestPlanShape:
+    def test_horizon_covers_all_events(self):
+        plan = build_fault_plan("mixed", 20.0, seed=0)
+        assert plan.horizon == max(e.end for e in plan.events)
+
+    def test_event_end(self):
+        event = FaultEvent(FaultKind.STRAGGLER, "decode", time=2.0, duration=3.0)
+        assert event.end == 5.0
+
+    def test_describe_round_trips_kinds(self):
+        plan = build_fault_plan("mixed", 20.0, seed=0)
+        kinds = {row["kind"] for row in plan.describe()}
+        assert kinds == {e.kind.value for e in plan.events}
+
+    def test_plan_is_plain_data(self):
+        plan = FaultPlan(name="x", events=(), seed=0)
+        with pytest.raises(AttributeError):
+            plan.name = "y"  # frozen

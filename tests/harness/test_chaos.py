@@ -1,0 +1,143 @@
+"""Tests for the chaos harness: invariants, conservation, reproducibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FAULT_PLAN_NAMES
+from repro.harness.chaos import (
+    ChaosResult,
+    ChaosSpec,
+    chaos_conservation,
+    completion_curve,
+    run_chaos,
+    run_chaos_matrix,
+)
+from repro.serving.request import Phase, Request
+
+
+def _req(rid, phase=Phase.FINISHED):
+    r = Request(request_id=rid, prompt_tokens=10, output_tokens=2, arrival_time=0.0)
+    r.phase = phase
+    return r
+
+
+class TestConservationChecker:
+    def test_clean_accounting_passes(self):
+        submitted = [_req(i) for i in range(3)]
+        done = [_req(0), _req(1)]
+        shed = [_req(2, Phase.SHED)]
+        assert chaos_conservation(submitted, done, shed) == []
+
+    def test_detects_silent_drop(self):
+        submitted = [_req(i) for i in range(3)]
+        problems = chaos_conservation(submitted, [_req(0)], [_req(1, Phase.SHED)])
+        assert any("dropped" in p for p in problems)
+
+    def test_detects_duplicate_completion(self):
+        submitted = [_req(0), _req(1)]
+        problems = chaos_conservation(submitted, [_req(0), _req(0), _req(1)], [])
+        assert problems
+
+    def test_detects_overlap(self):
+        submitted = [_req(0), _req(1)]
+        problems = chaos_conservation(submitted, [_req(0), _req(1)], [_req(1, Phase.SHED)])
+        assert problems
+
+    def test_detects_phantom(self):
+        problems = chaos_conservation([_req(0)], [_req(0), _req(7)], [])
+        assert problems
+
+    def test_shed_requests_must_be_marked(self):
+        submitted = [_req(0), _req(1)]
+        problems = chaos_conservation(submitted, [_req(0)], [_req(1, Phase.WAITING_PREFILL)])
+        assert any("phase" in p for p in problems)
+
+
+class TestCompletionCurve:
+    def test_cumulative_counts(self):
+        done = []
+        for i, t in enumerate([0.5, 1.5, 1.6, 9.0]):
+            r = _req(i)
+            r.finish_time = t
+            done.append(r)
+        curve = completion_curve(done, horizon=10.0, bins=5)
+        # Sample points at 2, 4, 6, 8, 10 seconds.
+        assert [c for _, c in curve] == [3, 3, 3, 3, 4]
+        assert curve[-1][0] == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert completion_curve([], horizon=10.0) == []
+
+
+CHAOS_KW = dict(num_requests=40, rate_per_gpu=3.0, seed=7)
+
+
+class TestRunChaos:
+    def test_decode_crash_zero_silent_drops(self):
+        result = run_chaos(ChaosSpec(system="windserve", fault_plan="decode-crash", **CHAOS_KW))
+        assert result.passed, result.violations
+        assert result.submitted == 40
+        assert result.completed + result.shed == 40
+        assert result.resilience["instance_crashes"] >= 1
+
+    def test_invariants_hold_for_every_plan(self):
+        for plan in FAULT_PLAN_NAMES:
+            result = run_chaos(ChaosSpec(system="windserve", fault_plan=plan, **CHAOS_KW))
+            assert result.passed, f"{plan}: {result.violations}"
+
+    def test_same_seed_same_fingerprint(self):
+        spec = ChaosSpec(system="windserve", fault_plan="decode-crash", **CHAOS_KW)
+        a = run_chaos(spec)
+        b = run_chaos(spec)
+        assert a.fingerprint == b.fingerprint
+        assert a.completed == b.completed
+
+    def test_different_seed_different_fingerprint(self):
+        base = dict(CHAOS_KW)
+        base.pop("seed")
+        a = run_chaos(ChaosSpec(system="windserve", fault_plan="decode-crash", seed=1, **base))
+        b = run_chaos(ChaosSpec(system="windserve", fault_plan="decode-crash", seed=2, **base))
+        assert a.fingerprint != b.fingerprint
+
+    def test_goodput_relative_to_healthy_baseline(self):
+        healthy = run_chaos(ChaosSpec(system="windserve", fault_plan="none", **CHAOS_KW))
+        assert healthy.resilience["instance_crashes"] == 0
+        faulted = run_chaos(
+            ChaosSpec(system="windserve", fault_plan="decode-crash", **CHAOS_KW),
+            healthy_completed=healthy.completed,
+        )
+        assert faulted.goodput_vs_healthy is not None
+        assert 0.0 <= faulted.goodput_vs_healthy <= 1.5
+
+    def test_row_shape(self):
+        result = run_chaos(ChaosSpec(system="windserve", fault_plan="none", **CHAOS_KW))
+        row = result.row()
+        for key in ("system", "plan", "completed", "shed", "invariants"):
+            assert key in row
+
+
+class TestRunChaosMatrix:
+    def test_baseline_prepended_per_system(self):
+        results = run_chaos_matrix(["windserve"], ["decode-crash"], **CHAOS_KW)
+        assert [r.spec.fault_plan for r in results] == ["none", "decode-crash"]
+        assert results[1].goodput_vs_healthy is not None
+        for r in results:
+            assert r.passed, r.violations
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos(ChaosSpec(system="windserve", fault_plan="nope", **CHAOS_KW))
+
+
+class TestBaselineSystems:
+    @pytest.mark.parametrize("system", ["distserve", "vllm"])
+    def test_decode_crash_conserves_requests(self, system):
+        result = run_chaos(ChaosSpec(system=system, fault_plan="decode-crash", **CHAOS_KW))
+        assert result.passed, result.violations
+
+    def test_distserve_prefill_crash(self):
+        result = run_chaos(
+            ChaosSpec(system="distserve", fault_plan="prefill-crash", **CHAOS_KW)
+        )
+        assert result.passed, result.violations
