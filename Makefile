@@ -17,6 +17,7 @@ differential:
 
 chaos:
 	python -m repro chaos --smoke
+	python -m repro chaos --fleet --smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -222,7 +222,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PLAN_NAMES
     from repro.harness.chaos import run_chaos_matrix
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     systems, plans = args.systems, args.plans
+    if plans is None:
+        plans = ["decode-crash", "link-degrade", "straggler"]
     requests = args.requests
     if args.smoke:
         # One small deterministic cell for CI: fast, but still exercises
@@ -273,6 +277,67 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if failed:
         return 1
     print(f"\nall {len(results)} chaos run(s) satisfied the resilience invariants")
+    return 0
+
+
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    from repro.faults import FLEET_FAULT_PLAN_NAMES
+    from repro.harness.chaos import DEFAULT_FLEET_CHAOS_PLANS, run_fleet_chaos_matrix
+
+    plans = args.plans if args.plans is not None else list(DEFAULT_FLEET_CHAOS_PLANS)
+    requests = args.requests
+    nodes, pairs, standby = args.nodes, args.pairs_per_node, args.standby
+    if args.smoke:
+        # One small member-crash cell with a warm standby: exercises the
+        # whole fleet loop (crash -> heartbeat detect -> cross-node re-route
+        # -> standby promotion -> rejoin) in a few seconds.
+        plans, requests = ["member-crash"], min(requests, 48)
+        nodes, pairs, standby = 2, 2, 1
+    for plan in plans:
+        if plan not in FLEET_FAULT_PLAN_NAMES:
+            print(
+                f"error: unknown fleet fault plan {plan!r}; "
+                f"known: {FLEET_FAULT_PLAN_NAMES}",
+                file=sys.stderr,
+            )
+            return 2
+    results = run_fleet_chaos_matrix(
+        plans=plans,
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=requests,
+        seed=args.seed,
+        arrival_process=args.arrivals,
+        burstiness_cv=args.burstiness,
+        num_nodes=nodes,
+        pairs_per_node=pairs,
+        span_nodes=args.span_nodes,
+        standby=standby,
+    )
+    if args.json:
+        payload = [
+            {
+                **r.row(),
+                "resilience": r.resilience,
+                "fleet_resilience": r.fleet_resilience,
+                "plan_events": r.plan_events,
+                "fingerprint": r.fingerprint,
+                "violations": r.violations,
+            }
+            for r in results
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table([r.row() for r in results]))
+    failed = [r for r in results if not r.passed]
+    for result in failed:
+        print(f"\n[VIOLATED] fleet / {result.spec.fault_plan}:", file=sys.stderr)
+        for violation in result.violations:
+            print(f"    {violation}", file=sys.stderr)
+    if failed:
+        return 1
+    print(f"\nall {len(results)} fleet chaos run(s) satisfied the resilience invariants")
     return 0
 
 
@@ -415,14 +480,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument(
         "--plans",
         type=lambda s: [x.strip() for x in s.split(",")],
-        default=["decode-crash", "link-degrade", "straggler"],
-        help="comma-separated fault plans (see repro.faults.FAULT_PLAN_NAMES)",
+        default=None,
+        help="comma-separated fault plans (FAULT_PLAN_NAMES, or "
+        "FLEET_FAULT_PLAN_NAMES with --fleet)",
     )
     chaos_p.add_argument("--rate", type=float, default=3.0)
     chaos_p.add_argument(
         "--smoke",
         action="store_true",
-        help="single fast windserve/decode-crash cell (CI gate)",
+        help="single fast cell (CI gate): windserve/decode-crash, or a "
+        "member-crash fleet with warm standby under --fleet",
+    )
+    chaos_p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run fleet-scope plans (member/node/NIC faults) against a "
+        "WindServe fleet over a multi-node cluster",
+    )
+    chaos_p.add_argument("--nodes", type=int, default=2, help="fleet cluster nodes")
+    chaos_p.add_argument("--pairs-per-node", type=int, default=2)
+    chaos_p.add_argument(
+        "--standby", type=int, default=0, help="warm standby members (autoscaled fleet)"
+    )
+    chaos_p.add_argument(
+        "--span-nodes",
+        action="store_true",
+        help="place each pair's decode on the next node (hand-offs cross NICs)",
     )
     _add_workload_args(chaos_p)
     # Chaos checks invariants, not percentiles; keep runs quick.

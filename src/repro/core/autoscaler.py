@@ -15,14 +15,21 @@ load, and
   evaluation period — draining the member (it finishes what it has) before
   standby.
 
+The policy is also *failure-reactive*: when the fleet's heartbeat monitor
+declares a member dead, the autoscaler immediately stops counting it as
+active capacity and promotes a warm standby replacement (paying the same
+``startup_delay``), rather than running degraded until the watermark loop
+happens to notice.  The replacement lag — detection to replacement-ready —
+is tracked per promotion.
+
 The interesting trade-off the bench measures: GPU-hours saved vs the SLO
 damage done by cold starts during ramps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.fleet import ServingFleet, _member_load
 from repro.serving.request import Request
@@ -39,12 +46,13 @@ class AutoscalerConfig:
     scale_out_load: float = 24.0  # in-flight requests per active member
     scale_in_load: float = 4.0
     scale_in_patience: int = 3  # consecutive low readings before scale-in
+    replace_on_failure: bool = True  # promote standby when a member dies
 
 
 @dataclass
 class ScalingEvent:
     time: float
-    action: str  # "scale-out" | "scale-in" | "member-ready"
+    action: str  # "scale-out" | "scale-in" | "member-ready" | "member-failed" | "member-rejoin"
     member: int
     active_after: int = 0
 
@@ -71,8 +79,11 @@ class AutoscalingFleet(ServingFleet):
         self._low_streak = 0
         self.events: list[ScalingEvent] = []
         self.active_member_time = 0.0  # integral of active members over time
+        self.active_gpu_time = 0.0  # integral of active members' GPUs over time
         self._last_accounting = 0.0
         self._heartbeat_scheduled = False
+        # Replacement promotions in flight: started index -> detection time.
+        self._replacing: dict[int, float] = {}
 
     # -- accounting -------------------------------------------------------
 
@@ -82,14 +93,17 @@ class AutoscalingFleet(ServingFleet):
 
     def _account(self) -> None:
         now = self.sim.now
-        self.active_member_time += self.num_active * (now - self._last_accounting)
+        elapsed = now - self._last_accounting
+        self.active_member_time += self.num_active * elapsed
+        self.active_gpu_time += elapsed * sum(
+            member.num_gpus for member, on in zip(self.members, self.active) if on
+        )
         self._last_accounting = now
 
     def gpu_hours_used(self) -> float:
-        """Active GPU-seconds, counting each member's GPUs while active."""
+        """Active GPU-seconds, counting each member's own GPUs while active."""
         self._account()
-        per_member = self.members[0].num_gpus
-        return self.active_member_time * per_member
+        return self.active_gpu_time
 
     # -- routing restricted to active members --------------------------------
 
@@ -109,9 +123,9 @@ class AutoscalingFleet(ServingFleet):
 
         return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: Request) -> int:
         self._ensure_heartbeat()
-        super().submit(request)
+        return super().submit(request)
 
     # -- the reactive loop ------------------------------------------------------
 
@@ -143,23 +157,47 @@ class AutoscalingFleet(ServingFleet):
         if in_flight > 0 or self.sim.pending_events > 1:
             self._ensure_heartbeat()
 
-    def _scale_out(self) -> None:
+    def _scale_out(self) -> Optional[int]:
+        """Start warming the first available standby; returns its index.
+
+        Members declared dead are not standby capacity — scaling out into a
+        failed member would route traffic straight back into the failure.
+        """
         for index, on in enumerate(self.active):
-            if not on and index not in self._starting:
+            if not on and index not in self._starting and index not in self.failed:
                 self._starting.add(index)
                 self.events.append(
                     ScalingEvent(self.sim.now, "scale-out", index, self.num_active)
                 )
                 self.sim.schedule(self.autoscaler.startup_delay, self._member_ready, index)
-                return
+                return index
+        return None
 
     def _member_ready(self, index: int) -> None:
         self._account()
         self._starting.discard(index)
+        detected_at = self._replacing.pop(index, None)
+        if index in self.failed:
+            # The member died while warming up: try the next standby.
+            replacement = self._scale_out()
+            if detected_at is not None and replacement is not None:
+                self._replacing[replacement] = detected_at
+            return
         self.active[index] = True
         self.events.append(
             ScalingEvent(self.sim.now, "member-ready", index, self.num_active)
         )
+        if detected_at is not None:
+            self.replacement_lags.append(self.sim.now - detected_at)
+            self.metrics.record_fault_event(
+                "member-replace", self.members[index].name, self.sim.now
+            )
+            self.trace.emit(
+                self.sim.now,
+                "fleet",
+                "member-replace",
+                member=self.members[index].name,
+            )
 
     def _scale_in(self) -> None:
         if self.num_active <= self.autoscaler.min_active:
@@ -170,3 +208,27 @@ class AutoscalingFleet(ServingFleet):
         self._account()
         self.active[victim] = False
         self.events.append(ScalingEvent(self.sim.now, "scale-in", victim, self.num_active))
+
+    # -- failure reactions -------------------------------------------------------
+
+    def on_member_failure(self, index: int) -> None:
+        """A member was declared dead: stop billing it, promote a standby."""
+        self._account()
+        was_active = self.active[index]
+        self.active[index] = False
+        self._starting.discard(index)
+        self._replacing.pop(index, None)
+        self.events.append(
+            ScalingEvent(self.sim.now, "member-failed", index, self.num_active)
+        )
+        if was_active and self.autoscaler.replace_on_failure:
+            replacement = self._scale_out()
+            if replacement is not None:
+                self._replacing[replacement] = self.sim.now
+
+    def on_member_restart(self, index: int) -> None:
+        """A crashed member rejoined: it returns as *standby* capacity."""
+        self._account()
+        self.events.append(
+            ScalingEvent(self.sim.now, "member-rejoin", index, self.num_active)
+        )

@@ -14,6 +14,16 @@ pairs on a shared cluster, with a pluggable request router:
 
 All members share one simulator and one cluster topology, so their KV
 transfers and swaps contend on real links.
+
+The fleet also owns the cluster-scope failure story.  Failure *truth* and
+failure *knowledge* are separated exactly as inside a single system:
+``crash_member`` kills a member (its KV is freed, its callbacks go inert)
+without telling the router; a :class:`~repro.faults.detection.
+FleetHeartbeatMonitor` later calls ``notice_member_failure``, which marks
+the member dead, sweeps its queues, and re-routes every unfinished
+assignment to the surviving members — counting the retries that landed on
+a different node.  ``fail_member`` (the test/manual entry point) is just
+crash + immediate detection.
 """
 
 from __future__ import annotations
@@ -26,9 +36,11 @@ from repro.hardware.cluster import ClusterTopology
 from repro.models.parallelism import ParallelConfig
 from repro.serving.metrics import MetricsCollector
 from repro.serving.placement import Placement
-from repro.serving.request import Request
+from repro.serving.request import Phase, Request
 from repro.serving.system import ServingSystem, SystemConfig
 from repro.sim.engine import Simulator
+from repro.sim.fingerprint import RunFingerprint, fingerprint_run
+from repro.sim.trace import TraceLog
 
 ROUTER_POLICIES = ("round-robin", "least-loaded", "predicted-ttft")
 
@@ -59,11 +71,43 @@ class ServingFleet:
         self.members = list(members)
         self.policy = policy
         self.sim: Simulator = members[0].sim
+        topology = members[0].topology
+        self.cluster: Optional[ClusterTopology] = (
+            topology if isinstance(topology, ClusterTopology) else None
+        )
         self._rr_next = 0
         self.routed: list[int] = [0] * len(members)
+        # Router *knowledge*: members declared dead by detection.
         self.failed: set[int] = set()
+        # Ground *truth*: members actually down (set by crash_member).
+        self.crashed: set[int] = set()
         self._assignments: dict[int, list[Request]] = {i: [] for i in range(len(members))}
         self.retried = 0
+        self.cross_node_retries = 0
+        # Fleet-level fault lifecycle (member-crash/-detect/-rejoin events)
+        # and the fleet's own trace stream (re-routes, detection decisions).
+        self.metrics = MetricsCollector()
+        self.trace = TraceLog(enabled=False)
+        self.replacement_lags: list[float] = []
+
+    # -- placement introspection ----------------------------------------------
+
+    def member_nodes(self, index: int) -> frozenset[int]:
+        """Cluster nodes a member's GPUs span ({0} off-cluster)."""
+        self._check_index(index)
+        if self.cluster is None:
+            return frozenset({0})
+        return frozenset(
+            self.cluster.node_of(gpu)
+            for instance in self.members[index].instances
+            for gpu in instance.gpus
+        )
+
+    def members_on_node(self, node: int) -> list[int]:
+        """Indices of members with at least one GPU on ``node``."""
+        return [
+            i for i in range(len(self.members)) if node in self.member_nodes(i)
+        ]
 
     # -- routing -------------------------------------------------------------
 
@@ -83,38 +127,140 @@ class ServingFleet:
             return min(candidates, key=lambda i: _member_load(self.members[i]))
         return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
 
-    def submit(self, request: Request) -> None:
+    def submit(self, request: Request) -> int:
+        """Route one request; returns the chosen member index.
+
+        Delivery goes through the member's ``_arrive`` path, so arrival
+        accounting and degraded-mode shedding apply to fleet-routed traffic
+        exactly as they do to directly-loaded workloads.
+        """
         index = self.select_member(request)
         self.routed[index] += 1
         self._assignments[index].append(request)
-        member = self.members[index]
-        member.submitted += 1
-        member.submit(request)
+        self.members[index]._arrive(request)
+        return index
 
-    # -- failure injection ---------------------------------------------------
+    # -- failure truth ---------------------------------------------------------
 
-    def fail_member(self, index: int) -> int:
-        """Kill one member (node failure) and retry its in-flight requests.
-
-        Every request assigned to the member that has not finished is reset
-        (all server-side progress lost; arrival time preserved) and
-        resubmitted to the surviving members.  Returns the retry count.
-        """
+    def _check_index(self, index: int) -> None:
         if not 0 <= index < len(self.members):
             raise ValueError(f"no member {index}")
+
+    def crash_member(self, index: int) -> None:
+        """Ground truth: the member dies (KV freed, callbacks inert).
+
+        The router learns nothing here — requests keep landing on the dead
+        member until :meth:`notice_member_failure` (normally driven by the
+        fleet heartbeat monitor) declares it.
+        """
+        self._check_index(index)
+        if index in self.crashed:
+            return
+        self.crashed.add(index)
+        member = self.members[index]
+        member.crash()
+        self.metrics.record_fault_event("member-crash", member.name, self.sim.now)
+        self.trace.emit(self.sim.now, "fleet", "member-crash", member=member.name)
+
+    # -- failure knowledge (detection + re-routing) -----------------------------
+
+    def notice_member_failure(self, index: int) -> int:
+        """Declare a member dead and re-route its unfinished requests.
+
+        Sweeps arrivals parked in the dead member's queues during the
+        crash→detection window, resets every unfinished assignment, and
+        resubmits them to the surviving members.  Returns the retry count.
+        """
+        self._check_index(index)
         if index in self.failed:
             return 0
         if len(self.failed) + 1 >= len(self.members):
             raise RuntimeError("every fleet member would have failed")
         self.failed.add(index)
-        self.members[index].halt()
-        lost = [r for r in self._assignments[index] if not r.finished]
+        member = self.members[index]
+        self.metrics.record_fault_event("member-detect", member.name, self.sim.now)
+        self.trace.emit(self.sim.now, "fleet", "member-detect", member=member.name)
+        # Post-crash arrivals park in the member's waiting queues; drain
+        # them so a later rejoin cannot re-run work we re-route now.
+        for instance in member.instances:
+            instance.sweep_waiting()
+        lost = [
+            r
+            for r in self._assignments[index]
+            if not r.finished and r.phase is not Phase.SHED
+        ]
         self._assignments[index] = []
+        src_nodes = self.member_nodes(index)
+        for request in lost:
+            request.reset_for_retry()
+            self.retried += 1
+            destination = self.submit(request)
+            if self.member_nodes(destination) != src_nodes:
+                self.cross_node_retries += 1
+            self.trace.emit(
+                self.sim.now,
+                "fleet",
+                "request-requeue",
+                request_id=request.request_id,
+                member=self.members[destination].name,
+            )
+        self.on_member_failure(index)
+        return len(lost)
+
+    def fail_member(self, index: int) -> int:
+        """Kill one member and retry its in-flight requests immediately.
+
+        Crash + instant detection in one call (the manual/test entry
+        point; chaos runs go through the injector and the heartbeat
+        monitor instead).  Returns the retry count.
+        """
+        self._check_index(index)
+        if index in self.failed:
+            return 0
+        if len(self.failed) + 1 >= len(self.members):
+            raise RuntimeError("every fleet member would have failed")
+        self.crash_member(index)
+        return self.notice_member_failure(index)
+
+    def restart_member(self, index: int) -> None:
+        """Bring a crashed member back (fresh KV pools, empty queues).
+
+        If the crash was never detected, nobody re-routed its orphans —
+        sweep and resubmit them here so no work is silently lost.
+        """
+        self._check_index(index)
+        if index not in self.crashed:
+            return
+        member = self.members[index]
+        undetected = index not in self.failed
+        lost: list[Request] = []
+        if undetected:
+            for instance in member.instances:
+                instance.sweep_waiting()
+            lost = [
+                r
+                for r in self._assignments[index]
+                if not r.finished and r.phase is not Phase.SHED
+            ]
+            self._assignments[index] = []
+        self.crashed.discard(index)
+        self.failed.discard(index)
+        member.restart()
+        self.metrics.record_fault_event("member-rejoin", member.name, self.sim.now)
+        self.trace.emit(self.sim.now, "fleet", "member-rejoin", member=member.name)
+        self.on_member_restart(index)
         for request in lost:
             request.reset_for_retry()
             self.retried += 1
             self.submit(request)
-        return len(lost)
+
+    # -- autoscaler hooks -------------------------------------------------------
+
+    def on_member_failure(self, index: int) -> None:
+        """Hook: a member was declared dead (autoscalers promote standby)."""
+
+    def on_member_restart(self, index: int) -> None:
+        """Hook: a crashed member rejoined the fleet."""
 
     # -- running ----------------------------------------------------------------
 
@@ -131,17 +277,71 @@ class ServingFleet:
         return self.merged_metrics()
 
     def merged_metrics(self) -> MetricsCollector:
-        """One collector aggregating every member's results."""
+        """One collector aggregating every member's results.
+
+        Member shed lists and fault events are merged alongside
+        completions, so fleet reports see degraded-mode drops and injected
+        faults; fleet-level events (member-crash/-detect/-rejoin) ride
+        along un-namespaced.
+        """
         merged = MetricsCollector()
         horizon = 0.0
         for member in self.members:
-            merged.completed.extend(member.metrics.completed)
-            merged.counters.update(member.metrics.counters)
-            for name, sample in member.metrics.utilization.items():
-                merged.utilization[f"{member.name}:{name}"] = sample
+            merged.merge_from(member.metrics, label=member.name)
             horizon = max(horizon, member.metrics.horizon, member.sim.now)
-        merged.horizon = horizon
+        merged.merge_from(self.metrics)
+        merged.horizon = max(horizon, merged.horizon)
         return merged
+
+    def fleet_resilience_summary(self) -> dict:
+        """Fleet-scope resilience accounting (all zero fault-free)."""
+        detect = self.metrics._fault_deltas("member-crash", "member-detect")
+        rejoin = self.metrics._fault_deltas("member-crash", "member-rejoin")
+        per_member: dict[str, float] = {}
+        open_at: dict[str, float] = {}
+        for event in self.metrics.fault_events:
+            if event["kind"] == "member-crash":
+                open_at.setdefault(event["target"], event["time"])
+            elif event["kind"] == "member-rejoin" and event["target"] in open_at:
+                start = open_at.pop(event["target"])
+                per_member[event["target"]] = (
+                    per_member.get(event["target"], 0.0) + event["time"] - start
+                )
+        return {
+            "member_crashes": sum(
+                1 for e in self.metrics.fault_events if e["kind"] == "member-crash"
+            ),
+            "requests_retried": self.retried,
+            "cross_node_retries": self.cross_node_retries,
+            "member_detection_latency_s": (
+                sum(detect) / len(detect) if detect else 0.0
+            ),
+            "member_downtime_s": sum(rejoin),
+            "per_member_downtime_s": per_member,
+            "replacement_lag_s": (
+                sum(self.replacement_lags) / len(self.replacement_lags)
+                if self.replacement_lags
+                else 0.0
+            ),
+        }
+
+    # -- determinism -------------------------------------------------------------
+
+    def run_fingerprint(self, rng_registry: Iterable[str] = ()) -> RunFingerprint:
+        """Composite determinism fingerprint across the whole fleet.
+
+        Uses the fleet's trace stream (share one ``TraceLog`` across the
+        fleet and its members for golden runs) plus the merged per-request
+        metrics and the shared simulator's terminal state.
+        """
+        digest = self.sim.digest()
+        return fingerprint_run(
+            self.trace.records,
+            self.merged_metrics().completed,
+            rng_registry=rng_registry,
+            events_processed=digest["events_processed"],
+            horizon=digest["now"],
+        )
 
     @property
     def num_gpus(self) -> int:
@@ -157,13 +357,19 @@ def build_windserve_fleet(
     policy: str = "predicted-ttft",
     ws_config: Optional[WindServeConfig] = None,
     system_factory: Optional[Callable[..., ServingSystem]] = None,
+    span_nodes: bool = False,
+    fleet_factory: Optional[Callable[..., "ServingFleet"]] = None,
 ) -> ServingFleet:
     """Place one WindServe prefill/decode pair per slot across a cluster.
 
     Each node hosts ``pairs_per_node`` independent pairs; all pairs share
     the cluster's simulator and links.  ``system_factory`` swaps in a
     different member system type (e.g. ``DistServeSystem``) for
-    comparisons.
+    comparisons.  With ``span_nodes``, pair ``p`` of node ``k`` keeps its
+    prefill instance on node ``k`` but places its decode instance on node
+    ``(k+1) % num_nodes`` — every KV hand-off then crosses the RDMA NICs,
+    which is what makes ``nic:<k>`` fault targets bite.  ``fleet_factory``
+    wraps the members in a fleet subclass (e.g. ``AutoscalingFleet``).
     """
     sim = Simulator()
     members: list[ServingSystem] = []
@@ -188,19 +394,36 @@ def build_windserve_fleet(
             tp_efficiency=cfg.tp_efficiency,
         )
 
-    for node in range(cluster.num_nodes):
-        node_start = node * cluster.gpus_per_node
-        for pair in range(pairs_per_node):
-            start = node_start + pair * gpus_needed
-            if start + gpus_needed > node_start + cluster.gpus_per_node:
-                raise ValueError(
-                    f"node {node} cannot host {pairs_per_node} pairs of "
-                    f"{gpus_needed} GPUs"
-                )
-            prefill_gpus = tuple(range(start, start + prefill_parallel.num_gpus))
-            decode_gpus = tuple(
-                range(start + prefill_parallel.num_gpus, start + gpus_needed)
+    def _slots(node: int, start_local: int, count: int) -> tuple[int, ...]:
+        base = node * cluster.gpus_per_node
+        if start_local + count > cluster.gpus_per_node:
+            raise ValueError(
+                f"node {node} cannot host {pairs_per_node} pairs of "
+                f"{gpus_needed} GPUs"
             )
+        return tuple(range(base + start_local, base + start_local + count))
+
+    for node in range(cluster.num_nodes):
+        for pair in range(pairs_per_node):
+            if span_nodes:
+                # Prefill slots pack the front of the home node; decode
+                # slots pack behind the *next* node's prefill block.
+                decode_node = (node + 1) % cluster.num_nodes
+                prefill_gpus = _slots(
+                    node, pair * prefill_parallel.num_gpus, prefill_parallel.num_gpus
+                )
+                decode_gpus = _slots(
+                    decode_node,
+                    pairs_per_node * prefill_parallel.num_gpus
+                    + pair * decode_parallel.num_gpus,
+                    decode_parallel.num_gpus,
+                )
+            else:
+                start = pair * gpus_needed
+                prefill_gpus = _slots(node, start, prefill_parallel.num_gpus)
+                decode_gpus = _slots(
+                    node, start + prefill_parallel.num_gpus, decode_parallel.num_gpus
+                )
             placement = Placement(
                 prefill_gpus=prefill_gpus,
                 decode_gpus=decode_gpus,
@@ -215,4 +438,5 @@ def build_windserve_fleet(
             )
             member.name = f"{getattr(factory, 'name', 'member')}-{node}.{pair}"
             members.append(member)
-    return ServingFleet(members, policy=policy)
+    build_fleet = fleet_factory or ServingFleet
+    return build_fleet(members, policy=policy)

@@ -143,6 +143,7 @@ class WindServeSystem(ServingSystem):
             kind="kv-async",
             request_id=request.request_id,
             request=request,
+            sys_epoch=self.crash_epoch,
         )
         # The last layer's KV can only ship after the pass finishes.
         residual = self._residual_transfer_time(nbytes)
@@ -171,7 +172,9 @@ class WindServeSystem(ServingSystem):
         src_epoch = request.extra.pop("handoff_src_epoch", None)
         dst_epoch = request.extra.pop("handoff_dst_epoch", None)
         at = max(self.sim.now, ready)
-        self.sim.call_at(at, self._handoff_arrive, request, src_epoch, dst_epoch)
+        self.sim.call_at(
+            at, self._handoff_arrive, request, src_epoch, dst_epoch, self.crash_epoch
+        )
 
     def pump_handoffs(self) -> None:
         """Post-prefill (fallback) transfers, DistServe-style serialization."""
@@ -192,10 +195,11 @@ class WindServeSystem(ServingSystem):
                 nbytes,
                 list(self.prefill_instance.gpus),
                 list(decode.gpus),
-                on_complete=lambda job, r=request, se=self.prefill_instance.epoch, de=decode.epoch: self._handoff_arrive(r, se, de),
+                on_complete=lambda job, r=request, se=self.prefill_instance.epoch, de=decode.epoch, ce=self.crash_epoch: self._handoff_arrive(r, se, de, ce),
                 kind="kv-handoff",
                 request_id=request.request_id,
                 request=request,
+                sys_epoch=self.crash_epoch,
             )
 
     def _handoff_arrive(
@@ -203,8 +207,14 @@ class WindServeSystem(ServingSystem):
         request: Request,
         src_epoch: Optional[int] = None,
         dst_epoch: Optional[int] = None,
+        sys_epoch: Optional[int] = None,
     ) -> None:
         if self.halted or request.finished:
+            return
+        if sys_epoch is not None and sys_epoch != self.crash_epoch:
+            # The whole system crashed while the copy flew: the fleet
+            # re-owns every request that was in flight here, so this stale
+            # arrival must not re-queue it locally.
             return
         if request.phase is not Phase.TRANSFERRING:
             return  # re-queued by a failure handler while the copy flew
@@ -298,6 +308,11 @@ class WindServeSystem(ServingSystem):
         self.pump_handoffs()
 
     def on_transfer_failed(self, job) -> None:
+        if self.halted:
+            return
+        launched_epoch = job.meta.get("sys_epoch")
+        if launched_epoch is not None and launched_epoch != self.crash_epoch:
+            return  # launched before a whole-system crash; the fleet re-owns
         request_id = job.meta.get("request_id")
         if job.kind in ("migration-bulk", "migration-residual"):
             state = self.migrations.active.get(request_id)

@@ -18,25 +18,31 @@ knowledge of them.
 """
 
 from repro.faults.config import ResilienceConfig
-from repro.faults.detection import HeartbeatMonitor
-from repro.faults.injector import FaultInjector
+from repro.faults.detection import FleetHeartbeatMonitor, HeartbeatMonitor
+from repro.faults.injector import FaultInjector, FleetFaultInjector
 from repro.faults.links import LinkFaultModel
 from repro.faults.plan import (
     FAULT_PLAN_NAMES,
+    FLEET_FAULT_PLAN_NAMES,
     FaultEvent,
     FaultKind,
     FaultPlan,
     build_fault_plan,
+    build_fleet_fault_plan,
 )
 
 __all__ = [
     "FAULT_PLAN_NAMES",
+    "FLEET_FAULT_PLAN_NAMES",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "FleetFaultInjector",
+    "FleetHeartbeatMonitor",
     "HeartbeatMonitor",
     "LinkFaultModel",
     "ResilienceConfig",
     "build_fault_plan",
+    "build_fleet_fault_plan",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fleet import ServingFleet
     from repro.serving.system import ServingSystem
 
 
@@ -65,3 +66,58 @@ class HeartbeatMonitor:
                 system.notice_failure(instance)
         if now + self.interval_s <= self._until + 1e-9:
             system.sim.schedule(self.interval_s, self._tick)
+
+
+class FleetHeartbeatMonitor:
+    """Declares fleet-member failures from missed member heartbeats.
+
+    The cluster-scope twin of :class:`HeartbeatMonitor`: the router never
+    reads a member's crash state directly — after ``miss_threshold``
+    consecutive missed beats this monitor calls
+    ``fleet.notice_member_failure(index)``, which is when the fleet
+    re-routes the member's in-flight requests and the autoscaler promotes
+    standby capacity.
+    """
+
+    def __init__(
+        self,
+        fleet: "ServingFleet",
+        interval_s: float,
+        miss_threshold: int,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+        self.fleet = fleet
+        self.interval_s = interval_s
+        self.miss_threshold = miss_threshold
+        self._last_beat: dict[int, float] = {}
+        self._until = 0.0
+        self._started = False
+
+    def start(self, until: float) -> None:
+        """Begin ticking; the monitor self-terminates after ``until``."""
+        self._until = until
+        if self._started:
+            return
+        self._started = True
+        for index in range(len(self.fleet.members)):
+            self._last_beat[index] = self.fleet.sim.now
+        self.fleet.sim.schedule(self.interval_s, self._tick)
+
+    def _tick(self) -> None:
+        fleet = self.fleet
+        now = fleet.sim.now
+        stale_after = self.miss_threshold * self.interval_s
+        for index, member in enumerate(fleet.members):
+            if not member.halted:
+                self._last_beat[index] = now
+                continue
+            if index in fleet.failed:
+                continue
+            last = self._last_beat.get(index, now)
+            if now - last >= stale_after - 1e-12:
+                fleet.notice_member_failure(index)
+        if now + self.interval_s <= self._until + 1e-9:
+            fleet.sim.schedule(self.interval_s, self._tick)

@@ -213,3 +213,109 @@ def build_fault_plan(name: str, horizon: float, seed: int = 0) -> FaultPlan:
         raise ValueError("horizon must be non-negative")
     events = _BUILDERS[name](horizon, _rng(name, seed))
     return FaultPlan(name=name, events=tuple(sorted(events, key=lambda e: e.time)), seed=seed)
+
+
+# -- fleet-scope plans ----------------------------------------------------------
+
+# Fleet plans target members ("member:<name-or-index>"), whole nodes
+# ("node:<k>" — a correlated crash of every pair touching the node), or the
+# per-node RDMA NICs ("nic:<k>").  They are delivered by
+# :class:`~repro.faults.injector.FleetFaultInjector` against a
+# :class:`~repro.core.fleet.ServingFleet`, not a single system, so they
+# live in their own registry.
+
+
+def _member_crash(horizon: float, rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FaultKind.INSTANCE_CRASH,
+            "member:1",
+            time=0.35 * horizon * _jitter(rng),
+            duration=max(MIN_DOWNTIME_S, 0.3 * horizon),
+        ),
+    )
+
+
+def _node_crash(horizon: float, rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    # Correlated failure: every member with a GPU on node 1 dies at once.
+    return (
+        FaultEvent(
+            FaultKind.INSTANCE_CRASH,
+            "node:1",
+            time=0.4 * horizon * _jitter(rng),
+            duration=max(MIN_DOWNTIME_S, 0.3 * horizon),
+        ),
+    )
+
+
+def _nic_outage(horizon: float, rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FaultKind.LINK_OUTAGE,
+            "nic:0",
+            time=0.4 * horizon * _jitter(rng),
+            duration=max(MIN_LINK_FAULT_S, 0.12 * horizon),
+        ),
+    )
+
+
+def _nic_degrade(horizon: float, rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FaultKind.LINK_DEGRADE,
+            "nic:0",
+            time=0.3 * horizon * _jitter(rng),
+            duration=max(MIN_LINK_FAULT_S, 0.3 * horizon),
+            magnitude=0.2,
+        ),
+    )
+
+
+def _fleet_mixed(horizon: float, rng: np.random.Generator) -> tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FaultKind.INSTANCE_CRASH,
+            "member:0",
+            time=0.2 * horizon * _jitter(rng),
+            duration=max(MIN_DOWNTIME_S, 0.2 * horizon),
+        ),
+        FaultEvent(
+            FaultKind.LINK_DEGRADE,
+            "nic:0",
+            time=0.45 * horizon * _jitter(rng),
+            duration=max(MIN_LINK_FAULT_S, 0.2 * horizon),
+            magnitude=0.3,
+        ),
+        FaultEvent(
+            FaultKind.INSTANCE_CRASH,
+            "node:1",
+            time=0.65 * horizon * _jitter(rng),
+            duration=max(MIN_DOWNTIME_S, 0.2 * horizon),
+        ),
+    )
+
+
+_FLEET_BUILDERS: dict[
+    str, Callable[[float, np.random.Generator], tuple[FaultEvent, ...]]
+] = {
+    "none": _none,
+    "member-crash": _member_crash,
+    "node-crash": _node_crash,
+    "nic-outage": _nic_outage,
+    "nic-degrade": _nic_degrade,
+    "fleet-mixed": _fleet_mixed,
+}
+
+FLEET_FAULT_PLAN_NAMES: tuple[str, ...] = tuple(_FLEET_BUILDERS)
+
+
+def build_fleet_fault_plan(name: str, horizon: float, seed: int = 0) -> FaultPlan:
+    """Instantiate a built-in fleet plan against an arrival ``horizon``."""
+    if name not in _FLEET_BUILDERS:
+        raise ValueError(
+            f"unknown fleet fault plan {name!r}; known: {FLEET_FAULT_PLAN_NAMES}"
+        )
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    events = _FLEET_BUILDERS[name](horizon, _rng(f"fleet-{name}", seed))
+    return FaultPlan(name=name, events=tuple(sorted(events, key=lambda e: e.time)), seed=seed)

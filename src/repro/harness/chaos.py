@@ -18,7 +18,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.faults import FaultInjector, ResilienceConfig, build_fault_plan
+from repro.faults import (
+    FaultInjector,
+    FleetFaultInjector,
+    ResilienceConfig,
+    build_fault_plan,
+    build_fleet_fault_plan,
+)
 from repro.harness.differential import (
     check_monotonic_times,
     check_token_causality,
@@ -35,6 +41,7 @@ from repro.workloads.trace import generate_trace
 
 DEFAULT_CHAOS_SYSTEMS = ("windserve", "distserve", "vllm")
 DEFAULT_CHAOS_PLANS = ("decode-crash", "link-degrade", "straggler")
+DEFAULT_FLEET_CHAOS_PLANS = ("member-crash", "node-crash", "nic-outage")
 
 
 @dataclass(frozen=True)
@@ -284,3 +291,198 @@ def run_chaos_matrix(
                 )
             )
     return results
+
+
+# -- fleet chaos ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetChaosSpec:
+    """One fleet chaos point: a WindServe fleet, a workload, a fleet plan.
+
+    ``span_nodes`` stretches each pair across two nodes (prefill on the
+    home node, decode on the next), forcing every KV hand-off over the
+    RDMA NICs so ``nic:<k>`` faults actually bite.  ``standby`` parks that
+    many members as warm standby behind an :class:`~repro.core.autoscaler.
+    AutoscalingFleet`, which promotes them when a member is declared dead.
+    """
+
+    fault_plan: str = "node-crash"
+    model: str = "opt-13b"
+    dataset: str = "sharegpt"
+    rate_per_gpu: float = 2.0
+    num_requests: int = 160
+    seed: int = 0
+    arrival_process: str = "poisson"
+    burstiness_cv: float = 2.0
+    num_nodes: int = 2
+    pairs_per_node: int = 2
+    policy: str = "round-robin"
+    span_nodes: bool = False
+    standby: int = 0
+    startup_delay: float = 1.0
+    check_interval: float = 0.5
+    resilience: Optional[ResilienceConfig] = None
+
+
+@dataclass
+class FleetChaosResult:
+    """Outcome of one fleet chaos run."""
+
+    spec: FleetChaosSpec
+    submitted: int
+    completed: int
+    shed: int
+    retried: int
+    cross_node_retries: int
+    resilience: dict
+    fleet_resilience: dict
+    fingerprint: str
+    plan_events: list[dict]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def row(self) -> dict:
+        out = {
+            "plan": self.spec.fault_plan,
+            "members": self.spec.num_nodes * self.spec.pairs_per_node,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "retried": self.retried,
+            "cross_node_retries": self.cross_node_retries,
+        }
+        out.update(
+            {
+                k: self.fleet_resilience[k]
+                for k in (
+                    "member_crashes",
+                    "member_detection_latency_s",
+                    "member_downtime_s",
+                    "replacement_lag_s",
+                )
+            }
+        )
+        out["transfer_retries"] = self.resilience["transfer_retries"]
+        out["invariants"] = "ok" if self.passed else "VIOLATED"
+        return out
+
+
+def build_chaos_fleet(spec: FleetChaosSpec):
+    """Construct the WindServe fleet a :class:`FleetChaosSpec` describes."""
+    from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
+    from repro.core.fleet import build_windserve_fleet
+    from repro.hardware.cluster import ClusterTopology
+    from repro.serving.system import SystemConfig
+
+    cluster = ClusterTopology(num_nodes=spec.num_nodes, gpus_per_node=8)
+    config = SystemConfig(
+        model=get_model(spec.model),
+        resilience=spec.resilience or ResilienceConfig(),
+    )
+    fleet_factory = None
+    if spec.standby:
+        members_total = spec.num_nodes * spec.pairs_per_node
+        if not 0 < spec.standby < members_total:
+            raise ValueError(
+                f"standby must leave at least one active member "
+                f"(fleet has {members_total})"
+            )
+        autoscaler = AutoscalerConfig(
+            startup_delay=spec.startup_delay,
+            check_interval=spec.check_interval,
+        )
+
+        def fleet_factory(members, policy):
+            return AutoscalingFleet(
+                members,
+                policy=policy,
+                autoscaler=autoscaler,
+                initially_active=members_total - spec.standby,
+            )
+
+    return build_windserve_fleet(
+        config,
+        cluster,
+        pairs_per_node=spec.pairs_per_node,
+        policy=spec.policy,
+        span_nodes=spec.span_nodes,
+        fleet_factory=fleet_factory,
+    )
+
+
+def fleet_chaos_invariants(fleet, submitted: Sequence[Request]) -> list[str]:
+    """Every invariant a fleet chaos run must keep, retry- and shed-aware."""
+    metrics = fleet.merged_metrics()
+    problems = chaos_conservation(submitted, metrics.completed, metrics.shed)
+    problems.extend(check_token_causality(metrics.completed))
+    problems.extend(check_monotonic_times(metrics.completed))
+    for request in metrics.completed:
+        problems.extend(audit_request(request))
+    for member in fleet.members:
+        problems.extend(chaos_kv_lifecycle(member))
+        for instance in member.instances:
+            if instance.failed:
+                problems.append(
+                    f"{member.name}/{instance.name}: still failed after the drain"
+                )
+            if instance.waiting:
+                problems.append(
+                    f"{member.name}/{instance.name}: "
+                    f"{len(instance.waiting)} requests stuck waiting"
+                )
+            if instance.total_running:
+                problems.append(
+                    f"{member.name}/{instance.name}: "
+                    f"{instance.total_running} requests stuck running"
+                )
+    if fleet.crashed:
+        problems.append(f"members still crashed after the drain: {sorted(fleet.crashed)}")
+    if fleet.failed:
+        problems.append(f"failure knowledge never cleared: {sorted(fleet.failed)}")
+    return problems
+
+
+def run_fleet_chaos(spec: FleetChaosSpec) -> FleetChaosResult:
+    """Run one fleet chaos point to completion and check its invariants."""
+    fleet = build_chaos_fleet(spec)
+    workload = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * fleet.num_gpus,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        arrival_process=spec.arrival_process,
+        burstiness_cv=spec.burstiness_cv,
+    )
+    submitted = clone_requests(workload_rows(workload))
+    horizon = max(r.arrival_time for r in submitted)
+    plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
+    FleetFaultInjector(fleet, plan).arm()
+    metrics = fleet.run_to_completion(submitted)
+    return FleetChaosResult(
+        spec=spec,
+        submitted=len(submitted),
+        completed=len(metrics.completed),
+        shed=len(metrics.shed),
+        retried=fleet.retried,
+        cross_node_retries=fleet.cross_node_retries,
+        resilience=metrics.resilience_summary(),
+        fleet_resilience=fleet.fleet_resilience_summary(),
+        fingerprint=fleet.run_fingerprint(workload.rng_registry).value,
+        plan_events=plan.describe(),
+        violations=fleet_chaos_invariants(fleet, submitted),
+    )
+
+
+def run_fleet_chaos_matrix(
+    plans: Sequence[str] = DEFAULT_FLEET_CHAOS_PLANS, **spec_kwargs
+) -> list[FleetChaosResult]:
+    """Sweep fleet fault plans over one fleet configuration."""
+    return [
+        run_fleet_chaos(FleetChaosSpec(fault_plan=plan, **spec_kwargs))
+        for plan in plans
+    ]

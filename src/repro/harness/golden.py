@@ -58,6 +58,12 @@ GOLDEN_TAGS = frozenset(
         "request-requeue",
         "request-shed",
         "transfer-retry",
+        # Fleet-scope fault lifecycle (member crash -> detect -> re-route ->
+        # standby promotion -> rejoin) for the fleet chaos scenarios.
+        "member-crash",
+        "member-detect",
+        "member-rejoin",
+        "member-replace",
     }
 )
 
@@ -83,6 +89,12 @@ class GoldenScenario:
     decode_parallel: tuple[int, int] = (2, 1)
     # Chaos cells: inject this named fault plan (see repro.faults.plan).
     fault_plan: Optional[str] = None
+    # Fleet cells: ``fleet_nodes > 0`` runs a WindServe fleet over a cluster
+    # instead of a single system; ``fault_plan`` then names a fleet plan.
+    fleet_nodes: int = 0
+    fleet_pairs_per_node: int = 2
+    fleet_standby: int = 0
+    fleet_span_nodes: bool = False
 
     def spec(self) -> ExperimentSpec:
         instance = InstanceConfig()
@@ -104,7 +116,7 @@ class GoldenScenario:
         )
 
     def meta(self) -> dict:
-        return {
+        meta = {
             "name": self.name,
             "system": self.system,
             "model": self.model,
@@ -116,8 +128,18 @@ class GoldenScenario:
             "burstiness_cv": self.burstiness_cv,
             "kv_override_tokens": self.kv_override_tokens,
             "decode_parallel": list(self.decode_parallel),
-            "fault_plan": self.fault_plan,
         }
+        # Feature keys appear only when the scenario uses them: a fresh
+        # recording of an older scenario must stay byte-identical to its
+        # committed golden.
+        if self.fault_plan is not None:
+            meta["fault_plan"] = self.fault_plan
+        if self.fleet_nodes:
+            meta["fleet_nodes"] = self.fleet_nodes
+            meta["fleet_pairs_per_node"] = self.fleet_pairs_per_node
+            meta["fleet_standby"] = self.fleet_standby
+            meta["fleet_span_nodes"] = self.fleet_span_nodes
+        return meta
 
 
 def _matrix() -> tuple[GoldenScenario, ...]:
@@ -174,6 +196,44 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             fault_plan="link-degrade",
         )
     )
+    # Baseline chaos cell: pins a baseline system's retry-with-backoff path
+    # under a hard link outage (the windserve cells cover crash/degrade).
+    cells.append(
+        GoldenScenario(
+            name="distserve-chaos-outage-s4",
+            system="distserve",
+            rate_per_gpu=3.0,
+            seed=4,
+            num_requests=40,
+            fault_plan="link-outage",
+        )
+    )
+    # Fleet chaos cells: a correlated node crash forces detection plus
+    # cross-node re-routing; a member crash with warm standby pins the
+    # failure-reactive promotion path (member-replace).
+    cells.append(
+        GoldenScenario(
+            name="fleet-chaos-node-s5",
+            system="windserve",
+            rate_per_gpu=2.0,
+            seed=5,
+            num_requests=40,
+            fault_plan="node-crash",
+            fleet_nodes=2,
+        )
+    )
+    cells.append(
+        GoldenScenario(
+            name="fleet-chaos-promote-s6",
+            system="windserve",
+            rate_per_gpu=2.0,
+            seed=6,
+            num_requests=40,
+            fault_plan="member-crash",
+            fleet_nodes=2,
+            fleet_standby=1,
+        )
+    )
     return tuple(cells)
 
 
@@ -193,8 +253,60 @@ class GoldenRun:
     rng_registry: tuple[str, ...]
 
 
+def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
+    from repro.faults import FleetFaultInjector, build_fleet_fault_plan
+    from repro.harness.chaos import FleetChaosSpec, build_chaos_fleet
+
+    spec = FleetChaosSpec(
+        fault_plan=scenario.fault_plan or "none",
+        model=scenario.model,
+        dataset=scenario.dataset,
+        rate_per_gpu=scenario.rate_per_gpu,
+        num_requests=scenario.num_requests,
+        seed=scenario.seed,
+        arrival_process=scenario.arrival_process,
+        burstiness_cv=scenario.burstiness_cv,
+        num_nodes=scenario.fleet_nodes,
+        pairs_per_node=scenario.fleet_pairs_per_node,
+        span_nodes=scenario.fleet_span_nodes,
+        standby=scenario.fleet_standby,
+    )
+    fleet = build_chaos_fleet(spec)
+    golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
+    fleet.trace = golden_log
+    for member in fleet.members:
+        member.trace = golden_log
+        member.transfers.trace = golden_log
+        for instance in member.instances:
+            instance.trace = golden_log
+    workload = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * fleet.num_gpus,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        arrival_process=spec.arrival_process,
+        burstiness_cv=spec.burstiness_cv,
+    )
+    horizon = max(r.arrival_time for r in workload)
+    plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
+    FleetFaultInjector(fleet, plan).arm()
+    metrics = fleet.run_to_completion(workload)
+    return GoldenRun(
+        scenario=scenario,
+        fingerprint=fleet.run_fingerprint(workload.rng_registry),
+        event_rows=golden_log.to_rows(),
+        request_rows=sorted(
+            (request_row(r) for r in metrics.completed), key=lambda r: r["id"]
+        ),
+        rng_registry=workload.rng_registry,
+    )
+
+
 def run_scenario(scenario: GoldenScenario) -> GoldenRun:
     """Run one golden scenario deterministically and capture its artefacts."""
+    if scenario.fleet_nodes:
+        return _run_fleet_scenario(scenario)
     spec = scenario.spec()
     system = build_system(spec, resolve_slo(spec))
     # Tracing is off by default for speed; golden runs need the filtered

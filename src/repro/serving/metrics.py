@@ -117,6 +117,24 @@ class MetricsCollector:
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] += amount
 
+    def merge_from(self, other: "MetricsCollector", label: Optional[str] = None) -> None:
+        """Fold another collector's results into this one (fleet aggregation).
+
+        ``label`` namespaces the per-instance utilization keys and fault
+        targets so same-named instances from different fleet members stay
+        distinguishable (detection/downtime pairing matches on target).
+        """
+        self.completed.extend(other.completed)
+        self.shed.extend(other.shed)
+        self.counters.update(other.counters)
+        for event in other.fault_events:
+            target = f"{label}:{event['target']}" if label else event["target"]
+            self.fault_events.append({**event, "target": target})
+        for name, sample in other.utilization.items():
+            key = f"{label}:{name}" if label else name
+            self.utilization[key] = sample
+        self.horizon = max(self.horizon, other.horizon)
+
     def record_batch(
         self, instance: str, duration: float, compute_time: float, io_time: float, lanes: int
     ) -> None:

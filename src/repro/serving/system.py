@@ -79,6 +79,12 @@ class ServingSystem:
         self.known_failed: set[str] = set()
         # Requests orphaned by a crash, held until the failure is detected.
         self._orphans: dict[str, list[Request]] = {}
+        # Bumped by whole-system ``crash()`` (fleet-scope faults).  Deferred
+        # transfer callbacks capture it at launch and go inert if the system
+        # crashed in between — after a member crash the *fleet* re-owns every
+        # in-flight request, so a stale callback must never re-queue one
+        # locally (the request may already be running on another member).
+        self.crash_epoch = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -251,6 +257,61 @@ class ServingSystem:
         # pending hand-off timestamps; collect anything we submitted that
         # has not completed and is not already accounted for.
         return list(lost.values())
+
+    def crash(self) -> list[Request]:
+        """Whole-system crash (node failure), recoverable via :meth:`restart`.
+
+        Unlike :meth:`halt` — which abandons queues and KV outright — a
+        crash flows through ``Instance.fail()`` on every instance, so all
+        KV allocations are freed (the lifecycle ledger stays balanced) and
+        the per-instance crash bookkeeping (torn transfers, migration
+        rescues, hand-off stashes) runs exactly as for a single-instance
+        crash.  Afterwards the system is halted: future callbacks are
+        inert until :meth:`restart`.  Returns the unfinished requests so a
+        higher layer (e.g. a fleet router) can retry them elsewhere.
+        """
+        lost: dict[int, Request] = {}
+        for instance in self.instances:
+            if instance.failed:
+                continue
+            fallen = instance.fail()
+            for request in fallen:
+                lost.setdefault(request.request_id, request)
+            self.register_crash(instance, fallen)
+        # register_crash stashes transport-level orphans (mid-flight
+        # hand-offs, aborted migrations) per instance; the fleet owns the
+        # retry, so drain them all here.
+        for bucket in self._orphans.values():
+            for request in bucket:
+                lost.setdefault(request.request_id, request)
+        self._orphans.clear()
+        handoff = getattr(self, "_handoff", None)
+        if handoff is not None:
+            for request in handoff:
+                lost.setdefault(request.request_id, request)
+            handoff.clear()
+        self.halted = True
+        for instance in self.instances:
+            instance.halted = True
+        self.crash_epoch += 1
+        return [r for r in lost.values() if not r.finished]
+
+    def restart(self) -> None:
+        """Undo :meth:`crash`: recover every instance with fresh KV pools.
+
+        The crashed pools are archived to each instance's ``retired_kv`` so
+        post-run audits still see the full allocation history.  The system
+        resumes with empty queues — whoever crashed it re-routes the lost
+        work (the fleet router does this at detection time).
+        """
+        if not self.halted:
+            return
+        self.halted = False
+        for instance in self.instances:
+            instance.halted = False
+        for instance in self.instances:
+            if instance.failed:
+                instance.recover()
 
     # -- running -------------------------------------------------------------------
 

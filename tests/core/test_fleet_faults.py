@@ -1,0 +1,280 @@
+"""Fleet-scoped fault injection: detection, re-routing, promotion, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
+from repro.core.fleet import build_windserve_fleet
+from repro.core.windserve import WindServeSystem
+from repro.faults import (
+    FAULT_PLAN_NAMES,
+    FLEET_FAULT_PLAN_NAMES,
+    build_fleet_fault_plan,
+)
+from repro.hardware.cluster import ClusterTopology
+from repro.harness.chaos import FleetChaosSpec, run_fleet_chaos
+from repro.models.parallelism import ParallelConfig
+from repro.models.registry import get_model
+from repro.serving.metrics import SLO
+from repro.serving.placement import Placement
+from repro.serving.system import SystemConfig
+from repro.sim.engine import Simulator
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+MODEL = get_model("opt-13b")
+
+
+def make_config() -> SystemConfig:
+    return SystemConfig(model=MODEL, slo=SLO(ttft=0.25, tpot=0.1))
+
+
+def make_fleet(num_nodes=2, policy="round-robin", span_nodes=False):
+    cluster = ClusterTopology(num_nodes=num_nodes, gpus_per_node=8)
+    return build_windserve_fleet(
+        make_config(), cluster, policy=policy, span_nodes=span_nodes
+    )
+
+
+def make_autoscaling_fleet(initially_active=2, startup_delay=1.0):
+    cluster = ClusterTopology(num_nodes=2, gpus_per_node=8)
+    return build_windserve_fleet(
+        make_config(),
+        cluster,
+        policy="round-robin",
+        fleet_factory=lambda members, policy: AutoscalingFleet(
+            members,
+            policy=policy,
+            autoscaler=AutoscalerConfig(startup_delay=startup_delay),
+            initially_active=initially_active,
+        ),
+    )
+
+
+def trace(rate_total, n=80, seed=0):
+    return generate_trace(SHAREGPT, rate=rate_total, num_requests=n, seed=seed, model=MODEL)
+
+
+def _advance(fleet, seconds):
+    fleet.sim.call_at(fleet.sim.now + seconds, lambda: None)
+    fleet.sim.run_until_idle()
+
+
+class TestScaleOutSkipsFailed:
+    def test_scale_out_never_selects_failed_standby(self):
+        fleet = make_autoscaling_fleet(initially_active=2)
+        fleet.fail_member(2)  # a standby dies
+        started = fleet._scale_out()
+        assert started == 3  # not the dead member
+        assert 2 not in fleet._starting
+
+    def test_no_standby_left_returns_none(self):
+        fleet = make_autoscaling_fleet(initially_active=3)
+        fleet.fail_member(3)
+        assert fleet._scale_out() is None
+
+    def test_fail_member_clears_active(self):
+        fleet = make_autoscaling_fleet(initially_active=4)
+        assert fleet.num_active == 4
+        fleet.fail_member(1)
+        assert fleet.active[1] is False
+        # The failure-reactive promotion started warming a standby, but
+        # nothing is active again until the startup delay elapses.
+        assert fleet.num_active == 3
+
+
+class TestGpuHoursAccounting:
+    def test_dead_member_stops_billing(self):
+        fleet = make_autoscaling_fleet(initially_active=4)
+        # 4 members x 4 GPUs, all active.
+        _advance(fleet, 10.0)
+        assert fleet.gpu_hours_used() == pytest.approx(16 * 10.0)
+        fleet.autoscaler.replace_on_failure = False
+        fleet.fail_member(1)
+        _advance(fleet, 10.0)
+        assert fleet.gpu_hours_used() == pytest.approx(16 * 10.0 + 12 * 10.0)
+
+    def test_heterogeneous_members_billed_by_own_gpus(self):
+        cluster = ClusterTopology(num_nodes=1, gpus_per_node=8)
+        sim = Simulator()
+        config = make_config()
+        big = WindServeSystem(
+            config,
+            placement=Placement(
+                prefill_gpus=(0, 1),
+                decode_gpus=(2, 3),
+                prefill_parallel=ParallelConfig(tp=2),
+                decode_parallel=ParallelConfig(tp=2),
+            ),
+            topology=cluster,
+            sim=sim,
+        )
+        small = WindServeSystem(
+            config,
+            placement=Placement(
+                prefill_gpus=(4,),
+                decode_gpus=(5,),
+                prefill_parallel=ParallelConfig(tp=1),
+                decode_parallel=ParallelConfig(tp=1),
+            ),
+            topology=cluster,
+            sim=sim,
+        )
+        big.name, small.name = "big", "small"
+        fleet = AutoscalingFleet(
+            [big, small],
+            policy="round-robin",
+            autoscaler=AutoscalerConfig(replace_on_failure=False),
+        )
+        _advance(fleet, 10.0)
+        assert fleet.gpu_hours_used() == pytest.approx((4 + 2) * 10.0)
+        fleet.fail_member(1)  # the 2-GPU member dies
+        _advance(fleet, 10.0)
+        assert fleet.gpu_hours_used() == pytest.approx(60.0 + 4 * 10.0)
+
+
+class TestMergedMetrics:
+    def test_shed_and_fault_events_survive_merging(self):
+        fleet = make_fleet()
+        request = next(iter(trace(8.0, n=1)))
+        fleet.members[0].metrics.record_shed(request)
+        fleet.members[0].metrics.record_fault_event("crash", "decode", 1.0)
+        fleet.metrics.record_fault_event("member-crash", fleet.members[0].name, 1.0)
+        merged = fleet.merged_metrics()
+        assert len(merged.shed) == 1
+        kinds = {e["kind"] for e in merged.fault_events}
+        assert kinds == {"crash", "member-crash"}
+
+    def test_member_fault_targets_are_namespaced(self):
+        fleet = make_fleet()
+        fleet.members[1].metrics.record_fault_event("crash", "decode", 1.0)
+        merged = fleet.merged_metrics()
+        (event,) = merged.fault_events
+        assert event["target"] == f"{fleet.members[1].name}:decode"
+
+
+class TestSubmitAccounting:
+    def test_fleet_submit_flows_through_arrive(self):
+        fleet = make_fleet()
+        requests = list(trace(32.0, n=40))
+        fleet.run_to_completion(requests)
+        assert sum(m.submitted for m in fleet.members) == 40
+        assert sum(fleet.routed) == 40
+
+
+class TestDetectionWindow:
+    def test_detection_latency_is_positive_and_bounded(self):
+        spec = FleetChaosSpec(fault_plan="member-crash", num_requests=60)
+        result = run_fleet_chaos(spec)
+        assert result.passed, result.violations
+        res = result.spec.resilience or fleet_default_resilience()
+        latency = result.fleet_resilience["member_detection_latency_s"]
+        assert latency > 0
+        assert latency <= res.detection_delay_s + res.heartbeat_interval_s + 1e-9
+
+    def test_undetected_crash_restart_resubmits(self):
+        fleet = make_fleet()
+        requests = list(trace(32.0, n=60))
+        horizon = max(r.arrival_time for r in requests)
+        fleet.load_workload(requests)
+        fleet.sim.call_at(0.4 * horizon, fleet.crash_member, 1)
+        fleet.sim.call_at(0.8 * horizon, fleet.restart_member, 1)
+        fleet.sim.run_until_idle()
+        assert all(r.finished for r in requests)
+        assert fleet.retried > 0
+        assert not fleet.crashed and not fleet.failed
+
+
+def fleet_default_resilience():
+    from repro.faults import ResilienceConfig
+
+    return ResilienceConfig()
+
+
+class TestFleetChaosEndToEnd:
+    def test_node_crash_conserves_requests_across_nodes(self):
+        spec = FleetChaosSpec(fault_plan="node-crash", num_requests=80)
+        result = run_fleet_chaos(spec)
+        assert result.passed, result.violations
+        assert result.completed + result.shed == result.submitted == 80
+        assert result.fleet_resilience["member_crashes"] == 2
+        assert result.cross_node_retries > 0
+        assert result.fleet_resilience["member_downtime_s"] > 0
+
+    def test_nic_outage_forces_transfer_retries(self):
+        spec = FleetChaosSpec(fault_plan="nic-outage", num_requests=60, span_nodes=True)
+        result = run_fleet_chaos(spec)
+        assert result.passed, result.violations
+        assert result.resilience["transfer_retries"] > 0
+        # A NIC fault degrades transfers; it must not kill members.
+        assert result.fleet_resilience["member_crashes"] == 0
+
+    def test_fleet_mixed_with_spanning_members(self):
+        spec = FleetChaosSpec(
+            fault_plan="fleet-mixed", num_requests=60, num_nodes=3, span_nodes=True
+        )
+        result = run_fleet_chaos(spec)
+        assert result.passed, result.violations
+        assert result.completed + result.shed == result.submitted
+
+    def test_correlated_node_crash_of_every_member_rejected(self):
+        # With 2 nodes and spanning pairs every member touches node 1, so a
+        # node-1 crash would take out the whole fleet; detection refuses to
+        # declare the last member rather than route into nothing.
+        spec = FleetChaosSpec(fault_plan="node-crash", num_requests=40, span_nodes=True)
+        with pytest.raises(RuntimeError, match="every fleet member"):
+            run_fleet_chaos(spec)
+
+
+class TestStandbyPromotion:
+    def test_replacement_within_startup_delay(self):
+        spec = FleetChaosSpec(
+            fault_plan="member-crash", num_requests=60, standby=1, startup_delay=0.5
+        )
+        result = run_fleet_chaos(spec)
+        assert result.passed, result.violations
+        lag = result.fleet_resilience["replacement_lag_s"]
+        assert lag == pytest.approx(0.5, abs=1e-6)
+
+    def test_promotion_records_member_replace_event(self):
+        fleet = make_autoscaling_fleet(initially_active=3, startup_delay=2.0)
+        fleet.fail_member(0)
+        assert 3 in fleet._replacing
+        _advance(fleet, 2.0)
+        assert fleet.active[3] is True
+        assert fleet.replacement_lags == [pytest.approx(2.0)]
+        kinds = {e["kind"] for e in fleet.metrics.fault_events}
+        assert "member-replace" in kinds
+
+
+class TestFleetPlans:
+    def test_plan_builder_is_deterministic(self):
+        a = build_fleet_fault_plan("fleet-mixed", horizon=10.0, seed=3)
+        b = build_fleet_fault_plan("fleet-mixed", horizon=10.0, seed=3)
+        assert a.describe() == b.describe()
+
+    def test_seed_changes_schedule(self):
+        a = build_fleet_fault_plan("member-crash", horizon=10.0, seed=0)
+        b = build_fleet_fault_plan("member-crash", horizon=10.0, seed=1)
+        assert a.describe() != b.describe()
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet fault plan"):
+            build_fleet_fault_plan("bogus", horizon=10.0)
+
+    def test_registries_are_separate(self):
+        assert "member-crash" in FLEET_FAULT_PLAN_NAMES
+        assert "member-crash" not in FAULT_PLAN_NAMES
+        assert "decode-crash" not in FLEET_FAULT_PLAN_NAMES
+
+
+class TestFleetChaosCli:
+    def test_fleet_smoke_passes(self, capsys):
+        assert main(["chaos", "--fleet", "--smoke", "--requests", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet chaos run(s) satisfied" in out
+
+    def test_unknown_fleet_plan_rejected(self, capsys):
+        assert main(["chaos", "--fleet", "--plans", "bogus"]) == 2
