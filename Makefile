@@ -18,6 +18,7 @@ differential:
 chaos:
 	python -m repro chaos --smoke
 	python -m repro chaos --fleet --smoke
+	python -m repro chaos --fleet --smoke --tier-mix interactive=0.25,standard=0.5,best_effort=0.25
 
 bench:
 	pytest benchmarks/ --benchmark-only

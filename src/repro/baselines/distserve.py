@@ -23,7 +23,7 @@ from repro.models.parallelism import ParallelConfig
 from repro.serving.batching import Batch
 from repro.serving.instance import Instance, Lane
 from repro.serving.placement import Placement, plan_pd_placement
-from repro.serving.request import Phase, Request
+from repro.serving.request import Phase, Request, tier_ordered
 from repro.serving.system import ServingSystem, SystemConfig
 
 
@@ -230,6 +230,8 @@ class DistServeSystem(ServingSystem):
         self.prefill_instance.enqueue(request)
 
     def recover_lost_requests(self, instance, lost: list[Request]) -> None:
+        # Stable tier order: interactive re-queues ahead of best-effort.
+        lost = tier_ordered(lost)
         prefill = self.prefill_instance
         if instance is self.decode_instance:
             for request in lost:

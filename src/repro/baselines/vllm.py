@@ -17,7 +17,7 @@ from repro.models.parallelism import ParallelConfig
 from repro.serving.batching import Batch
 from repro.serving.instance import Instance, Lane
 from repro.serving.placement import plan_colocated_placement
-from repro.serving.request import Phase, Request
+from repro.serving.request import Phase, Request, tier_ordered
 from repro.serving.system import ServingSystem, SystemConfig
 
 
@@ -160,8 +160,9 @@ class VLLMSystem(ServingSystem):
         target.enqueue(request)
 
     def recover_lost_requests(self, instance, lost: list[Request]) -> None:
-        """Re-route crash orphans to the least-loaded surviving replica."""
-        for request in lost:
+        """Re-route crash orphans to the least-loaded surviving replica,
+        highest SLO tier first (stable within a tier)."""
+        for request in tier_ordered(lost):
             if request.finished:
                 continue
             self._reset_for_requeue(request)

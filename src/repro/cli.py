@@ -55,6 +55,7 @@ def _spec_from_args(args: argparse.Namespace, system: str, rate: float) -> Exper
         num_node_gpus=args.node_gpus,
         arrival_process=args.arrivals,
         burstiness_cv=args.burstiness,
+        tier_mix=args.tier_mix,
     )
 
 
@@ -136,6 +137,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
     from repro.harness.timeline import render_timeline
     from repro.harness.runner import build_system, resolve_slo
     from repro.models.registry import get_model
+    from repro.workloads.arrivals import TierMix
     from repro.workloads.datasets import get_dataset
     from repro.workloads.trace import generate_trace
 
@@ -154,6 +156,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
     )
     metrics = system.run_to_completion(trace)
     rows = breakdown_rows(metrics.completed, label=spec.system)
@@ -218,10 +221,26 @@ def cmd_differential(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _validate_tier_mix(args: argparse.Namespace) -> Optional[str]:
+    """Parse-check ``--tier-mix`` up front; returns an error message or None."""
+    if not args.tier_mix:
+        return None
+    from repro.workloads.arrivals import TierMix
+
+    try:
+        TierMix.parse(args.tier_mix)
+    except ValueError as exc:
+        return f"error: bad --tier-mix: {exc}"
+    return None
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PLAN_NAMES
     from repro.harness.chaos import run_chaos_matrix
 
+    if (mix_error := _validate_tier_mix(args)) is not None:
+        print(mix_error, file=sys.stderr)
+        return 2
     if args.fleet:
         return _cmd_chaos_fleet(args)
     systems, plans = args.systems, args.plans
@@ -249,6 +268,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         arrival_process=args.arrivals,
         burstiness_cv=args.burstiness,
+        tier_mix=args.tier_mix,
     )
     rows = [r.row() for r in results]
     if args.json:
@@ -259,6 +279,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 "plan_events": r.plan_events,
                 "fingerprint": r.fingerprint,
                 "completion_curve": r.completion_curve,
+                "tier_report": r.tier_report,
                 "violations": r.violations,
             }
             for r in results
@@ -314,6 +335,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
         pairs_per_node=pairs,
         span_nodes=args.span_nodes,
         standby=standby,
+        tier_mix=args.tier_mix,
     )
     if args.json:
         payload = [
@@ -323,6 +345,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
                 "fleet_resilience": r.fleet_resilience,
                 "plan_events": r.plan_events,
                 "fingerprint": r.fingerprint,
+                "tier_report": r.tier_report,
                 "violations": r.violations,
             }
             for r in results
@@ -386,6 +409,13 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--node-gpus", type=int, default=8)
     parser.add_argument("--arrivals", choices=("poisson", "bursty"), default="poisson")
     parser.add_argument("--burstiness", type=float, default=2.0)
+    parser.add_argument(
+        "--tier-mix",
+        default=None,
+        metavar="SPEC",
+        help="SLO-tier mix, e.g. 'interactive=0.2,standard=0.5,best_effort=0.3' "
+        "(default: all requests in the standard tier)",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
 

@@ -34,9 +34,11 @@ from repro.core.config import WindServeConfig
 from repro.core.windserve import WindServeSystem
 from repro.hardware.cluster import ClusterTopology
 from repro.models.parallelism import ParallelConfig
+from collections import Counter
+
 from repro.serving.metrics import MetricsCollector
 from repro.serving.placement import Placement
-from repro.serving.request import Phase, Request
+from repro.serving.request import Phase, Request, tier_ordered
 from repro.serving.system import ServingSystem, SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
@@ -46,8 +48,8 @@ ROUTER_POLICIES = ("round-robin", "least-loaded", "predicted-ttft")
 
 
 def _member_load(member: ServingSystem) -> int:
-    load = member.submitted - len(member.metrics.completed)
-    return load
+    """Requests arrived at ``member`` and still unresolved (not done, not shed)."""
+    return member.submitted - len(member.metrics.completed) - len(member.metrics.shed)
 
 
 def _predicted_ttft(member: ServingSystem, request: Request) -> float:
@@ -83,6 +85,7 @@ class ServingFleet:
         self.crashed: set[int] = set()
         self._assignments: dict[int, list[Request]] = {i: [] for i in range(len(members))}
         self.retried = 0
+        self.retried_by_tier: Counter[str] = Counter()
         self.cross_node_retries = 0
         # Fleet-level fault lifecycle (member-crash/-detect/-rejoin events)
         # and the fleet's own trace stream (re-routes, detection decisions).
@@ -191,9 +194,15 @@ class ServingFleet:
         ]
         self._assignments[index] = []
         src_nodes = self.member_nodes(index)
+        # Highest SLO tier first: interactive work re-routes (and claims
+        # surviving capacity) before best-effort.  The sort is stable, so
+        # single-tier fleets re-route in the exact pre-tier order.
+        lost = tier_ordered(lost)
         for request in lost:
+            member.forget_arrival(request)
             request.reset_for_retry()
             self.retried += 1
+            self.retried_by_tier[request.tier] += 1
             destination = self.submit(request)
             if self.member_nodes(destination) != src_nodes:
                 self.cross_node_retries += 1
@@ -249,9 +258,11 @@ class ServingFleet:
         self.metrics.record_fault_event("member-rejoin", member.name, self.sim.now)
         self.trace.emit(self.sim.now, "fleet", "member-rejoin", member=member.name)
         self.on_member_restart(index)
-        for request in lost:
+        for request in tier_ordered(lost):
+            member.forget_arrival(request)
             request.reset_for_retry()
             self.retried += 1
+            self.retried_by_tier[request.tier] += 1
             self.submit(request)
 
     # -- autoscaler hooks -------------------------------------------------------
@@ -312,6 +323,7 @@ class ServingFleet:
                 1 for e in self.metrics.fault_events if e["kind"] == "member-crash"
             ),
             "requests_retried": self.retried,
+            "requests_retried_by_tier": dict(self.retried_by_tier),
             "cross_node_retries": self.cross_node_retries,
             "member_detection_latency_s": (
                 sum(detect) / len(detect) if detect else 0.0

@@ -18,7 +18,7 @@ from repro.core.profiler import Profiler
 from repro.core.rescheduling import MigrationManager
 from repro.models.parallelism import ParallelConfig
 from repro.serving.placement import Placement, plan_pd_placement
-from repro.serving.request import Phase, Request
+from repro.serving.request import Phase, Request, tier_ordered
 from repro.serving.system import ServingSystem, SystemConfig
 
 # Assist budget used when no TPOT SLO is configured to derive one from.
@@ -272,6 +272,8 @@ class WindServeSystem(ServingSystem):
         prefill.kick()
 
     def recover_lost_requests(self, instance, lost: list[Request]) -> None:
+        # Stable tier order: interactive re-queues ahead of best-effort.
+        lost = tier_ordered(lost)
         if instance is self.decode_instance:
             for request in lost:
                 self._requeue_after_crash(request)

@@ -17,7 +17,7 @@ Recovery policy itself lives in the serving systems (see
 knowledge of them.
 """
 
-from repro.faults.config import ResilienceConfig
+from repro.faults.config import ResilienceConfig, should_shed_tier, tier_inflight_limit
 from repro.faults.detection import FleetHeartbeatMonitor, HeartbeatMonitor
 from repro.faults.injector import FaultInjector, FleetFaultInjector
 from repro.faults.links import LinkFaultModel
@@ -45,4 +45,6 @@ __all__ = [
     "ResilienceConfig",
     "build_fault_plan",
     "build_fleet_fault_plan",
+    "should_shed_tier",
+    "tier_inflight_limit",
 ]

@@ -35,7 +35,67 @@ class ResilienceConfig:
     shed_enabled: bool = True
     degraded_inflight_limit: int = 96
 
+    # Priority-aware shedding: each tier's effective in-flight cap is
+    # ``degraded_inflight_limit * fraction``.  The tuple is ordered highest
+    # priority first and its fractions must be non-increasing, so a tier is
+    # only ever shed after every lower-priority tier is already being shed
+    # (best-effort dropped first, interactive last).  ``standard`` keeps
+    # fraction 1.0 — the exact flat cap — so tier-free runs are unchanged.
+    tier_admission_fractions: tuple[tuple[str, float], ...] = (
+        ("interactive", 1.5),
+        ("standard", 1.0),
+        ("best_effort", 0.5),
+    )
+
+    def __post_init__(self) -> None:
+        previous = None
+        for tier, fraction in self.tier_admission_fractions:
+            if fraction <= 0:
+                raise ValueError(f"tier {tier!r} admission fraction must be positive")
+            if previous is not None and fraction > previous:
+                raise ValueError(
+                    "tier_admission_fractions must be non-increasing in priority "
+                    f"order; {tier!r} got {fraction} after {previous}"
+                )
+            previous = fraction
+
+    def tier_fraction(self, tier: str) -> float:
+        """Admission headroom of ``tier`` (1.0 for unknown/absent tiers)."""
+        for name, fraction in self.tier_admission_fractions:
+            if name == tier:
+                return fraction
+        return 1.0
+
+    def tier_inflight_limit(self, tier: str) -> int:
+        """Effective degraded-mode in-flight cap for one tier."""
+        return tier_inflight_limit(
+            self.degraded_inflight_limit, tier, self.tier_admission_fractions
+        )
+
     @property
     def detection_delay_s(self) -> float:
         """Worst-case time from crash to declaration by the monitor."""
         return self.heartbeat_interval_s * (self.heartbeat_miss_threshold + 1)
+
+
+def tier_inflight_limit(
+    limit: int, tier: str, fractions: tuple[tuple[str, float], ...]
+) -> int:
+    """Pure tier-cap policy: ``floor(limit * fraction)`` for ``tier``.
+
+    Kept free of any object state so property-based tests can drive it
+    directly: with non-increasing fractions (enforced by
+    :class:`ResilienceConfig`), a tighter ``limit`` can never shed a
+    higher-priority tier while a lower-priority tier is still admitted.
+    """
+    for name, fraction in fractions:
+        if name == tier:
+            return int(limit * fraction)
+    return int(limit)
+
+
+def should_shed_tier(
+    in_flight: int, limit: int, tier: str, fractions: tuple[tuple[str, float], ...]
+) -> bool:
+    """Degraded-mode admission decision for one arriving request."""
+    return in_flight > tier_inflight_limit(limit, tier, fractions)

@@ -32,10 +32,14 @@ from repro.harness.differential import (
     workload_rows,
 )
 from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
+from repro.harness.slo import derive_slo, tier_slos
+from repro.models.parallelism import ParallelConfig
 from repro.models.registry import get_model
 from repro.serving.audit import audit_request
-from repro.serving.request import Phase, Request
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import TIERS, Phase, Request
 from repro.serving.system import ServingSystem
+from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
 from repro.workloads.trace import generate_trace
 
@@ -57,7 +61,13 @@ class ChaosSpec:
     seed: int = 0
     arrival_process: str = "poisson"
     burstiness_cv: float = 2.0
+    # SLO-tier mix spec ("interactive=0.2,standard=0.5,best_effort=0.3");
+    # None keeps the workload tier-free (byte-identical to pre-tier runs).
+    tier_mix: Optional[str] = None
     resilience: Optional[ResilienceConfig] = None
+
+    def parsed_tier_mix(self) -> Optional[TierMix]:
+        return TierMix.parse(self.tier_mix) if self.tier_mix else None
 
     def experiment(self) -> ExperimentSpec:
         return ExperimentSpec(
@@ -69,6 +79,7 @@ class ChaosSpec:
             seed=self.seed,
             arrival_process=self.arrival_process,
             burstiness_cv=self.burstiness_cv,
+            tier_mix=self.tier_mix,
             resilience=self.resilience,
         )
 
@@ -87,6 +98,9 @@ class ChaosResult:
     fingerprint: str
     plan_events: list[dict]
     completion_curve: list[tuple[float, int]]
+    # Per-tier completed/shed/goodput/attainment (each tier judged against
+    # its own scaled SLO); covers every known tier even when tier-free.
+    tier_report: dict = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -149,6 +163,38 @@ def chaos_conservation(
     return problems
 
 
+def chaos_tier_conservation(
+    submitted: Sequence[Request], completed: Sequence[Request], shed: Sequence[Request]
+) -> list[str]:
+    """No tier's requests vanish or mutate: per-tier submitted counts equal
+    per-tier completed + shed, and every outcome carries the tier it was
+    submitted with (a retry/requeue must never reclassify a request)."""
+    problems = []
+    tier_of = {r.request_id: r.tier for r in submitted}
+    mutated = [
+        r.request_id
+        for r in list(completed) + list(shed)
+        if r.request_id in tier_of and r.tier != tier_of[r.request_id]
+    ]
+    if mutated:
+        problems.append(f"requests changed tier in flight: {sorted(mutated)[:5]}")
+    for tier in TIERS:
+        n_submitted = sum(1 for r in submitted if r.tier == tier)
+        n_completed = sum(1 for r in completed if r.tier == tier)
+        n_shed = sum(1 for r in shed if r.tier == tier)
+        if n_submitted != n_completed + n_shed:
+            problems.append(
+                f"tier {tier!r} lost requests: submitted {n_submitted} != "
+                f"completed {n_completed} + shed {n_shed}"
+            )
+    return problems
+
+
+def chaos_tier_report(metrics: MetricsCollector, base_slo) -> dict:
+    """Per-tier outcome summary against each tier's own scaled SLO."""
+    return metrics.tier_report(tier_slos(base_slo))
+
+
 def chaos_kv_lifecycle(system: ServingSystem) -> list[str]:
     """KV freed exactly once, including the pools retired by crashes."""
     problems = []
@@ -182,6 +228,7 @@ def chaos_invariants(
     completed = system.metrics.completed
     shed = system.metrics.shed
     problems = chaos_conservation(submitted, completed, shed)
+    problems.extend(chaos_tier_conservation(submitted, completed, shed))
     problems.extend(check_token_causality(completed))
     problems.extend(check_monotonic_times(completed))
     problems.extend(chaos_kv_lifecycle(system))
@@ -239,6 +286,7 @@ def run_chaos(
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=spec.parsed_tier_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)
@@ -263,6 +311,7 @@ def run_chaos(
         fingerprint=system.run_fingerprint(workload.rng_registry).value,
         plan_events=plan.describe(),
         completion_curve=completion_curve(metrics.completed, metrics.horizon),
+        tier_report=chaos_tier_report(metrics, slo),
         violations=chaos_invariants(system, submitted),
     )
 
@@ -322,7 +371,12 @@ class FleetChaosSpec:
     standby: int = 0
     startup_delay: float = 1.0
     check_interval: float = 0.5
+    # SLO-tier mix spec; None keeps the workload tier-free.
+    tier_mix: Optional[str] = None
     resilience: Optional[ResilienceConfig] = None
+
+    def parsed_tier_mix(self) -> Optional[TierMix]:
+        return TierMix.parse(self.tier_mix) if self.tier_mix else None
 
 
 @dataclass
@@ -339,6 +393,8 @@ class FleetChaosResult:
     fleet_resilience: dict
     fingerprint: str
     plan_events: list[dict]
+    # Per-tier completed/shed/goodput/attainment across the merged fleet.
+    tier_report: dict = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -418,6 +474,7 @@ def fleet_chaos_invariants(fleet, submitted: Sequence[Request]) -> list[str]:
     """Every invariant a fleet chaos run must keep, retry- and shed-aware."""
     metrics = fleet.merged_metrics()
     problems = chaos_conservation(submitted, metrics.completed, metrics.shed)
+    problems.extend(chaos_tier_conservation(submitted, metrics.completed, metrics.shed))
     problems.extend(check_token_causality(metrics.completed))
     problems.extend(check_monotonic_times(metrics.completed))
     for request in metrics.completed:
@@ -457,12 +514,16 @@ def run_fleet_chaos(spec: FleetChaosSpec) -> FleetChaosResult:
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=spec.parsed_tier_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)
     plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
     FleetFaultInjector(fleet, plan).arm()
     metrics = fleet.run_to_completion(submitted)
+    base_slo = derive_slo(
+        get_model(spec.model), get_dataset(spec.dataset), ParallelConfig(tp=2)
+    )
     return FleetChaosResult(
         spec=spec,
         submitted=len(submitted),
@@ -474,6 +535,7 @@ def run_fleet_chaos(spec: FleetChaosSpec) -> FleetChaosResult:
         fleet_resilience=fleet.fleet_resilience_summary(),
         fingerprint=fleet.run_fingerprint(workload.rng_registry).value,
         plan_events=plan.describe(),
+        tier_report=chaos_tier_report(metrics, base_slo),
         violations=fleet_chaos_invariants(fleet, submitted),
     )
 

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
 from repro.models.registry import get_model
 from repro.serving.audit import audit_system
-from repro.serving.request import Request
+from repro.serving.request import DEFAULT_TIER, Request
 from repro.sim.fingerprint import digest_lines, canonical_json
 from repro.workloads.datasets import get_dataset
 from repro.workloads.trace import Trace, generate_trace
@@ -101,16 +101,23 @@ class DifferentialReport:
 
 
 def workload_rows(trace: Trace) -> list[dict]:
-    """The arrival trace reduced to its defining bytes."""
-    return [
-        {
+    """The arrival trace reduced to its defining bytes.
+
+    The tier key rides along only when a request carries a non-default SLO
+    tier, so tier-free workload fingerprints are unchanged.
+    """
+    rows = []
+    for r in trace:
+        row = {
             "id": r.request_id,
             "arrival": r.arrival_time,
             "prompt": r.prompt_tokens,
             "output": r.output_tokens,
         }
-        for r in trace
-    ]
+        if r.tier != DEFAULT_TIER:
+            row["tier"] = r.tier
+        rows.append(row)
+    return rows
 
 
 def clone_requests(rows: Sequence[dict]) -> list[Request]:
@@ -121,6 +128,7 @@ def clone_requests(rows: Sequence[dict]) -> list[Request]:
             prompt_tokens=row["prompt"],
             output_tokens=row["output"],
             arrival_time=row["arrival"],
+            tier=row.get("tier", DEFAULT_TIER),
         )
         for row in rows
     ]

@@ -19,8 +19,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.faults.config import ResilienceConfig
 from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
 from repro.models.registry import get_model
+from repro.workloads.arrivals import TierMix
 from repro.serving.instance import InstanceConfig
 from repro.sim.fingerprint import (
     RunFingerprint,
@@ -89,6 +91,10 @@ class GoldenScenario:
     decode_parallel: tuple[int, int] = (2, 1)
     # Chaos cells: inject this named fault plan (see repro.faults.plan).
     fault_plan: Optional[str] = None
+    # SLO-tier cells: deterministic tier mix spec and a tightened degraded-
+    # mode in-flight cap so priority shedding actually fires in the trace.
+    tier_mix: Optional[str] = None
+    shed_limit: Optional[int] = None
     # Fleet cells: ``fleet_nodes > 0`` runs a WindServe fleet over a cluster
     # instead of a single system; ``fault_plan`` then names a fleet plan.
     fleet_nodes: int = 0
@@ -102,6 +108,9 @@ class GoldenScenario:
             instance = InstanceConfig(
                 kv_capacity_override_tokens=self.kv_override_tokens, cpu_swap_gb=16.0
             )
+        resilience = None
+        if self.shed_limit is not None:
+            resilience = ResilienceConfig(degraded_inflight_limit=self.shed_limit)
         return ExperimentSpec(
             system=self.system,
             model=self.model,
@@ -113,6 +122,8 @@ class GoldenScenario:
             burstiness_cv=self.burstiness_cv,
             instance_config=instance,
             decode_parallel=self.decode_parallel,
+            tier_mix=self.tier_mix,
+            resilience=resilience,
         )
 
     def meta(self) -> dict:
@@ -134,6 +145,10 @@ class GoldenScenario:
         # committed golden.
         if self.fault_plan is not None:
             meta["fault_plan"] = self.fault_plan
+        if self.tier_mix is not None:
+            meta["tier_mix"] = self.tier_mix
+        if self.shed_limit is not None:
+            meta["shed_limit"] = self.shed_limit
         if self.fleet_nodes:
             meta["fleet_nodes"] = self.fleet_nodes
             meta["fleet_pairs_per_node"] = self.fleet_pairs_per_node
@@ -234,6 +249,56 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             fleet_standby=1,
         )
     )
+    # Baseline chaos coverage: the straggler (slow-GPU) and mixed
+    # (crash+degrade+straggler) plans on DistServe, and a crash plan on
+    # vLLM (its injector targets the last replica), so every baseline's
+    # recovery path is pinned — not just WindServe's.
+    cells.append(
+        GoldenScenario(
+            name="distserve-chaos-straggler-s8",
+            system="distserve",
+            rate_per_gpu=3.0,
+            seed=8,
+            num_requests=40,
+            fault_plan="straggler",
+        )
+    )
+    cells.append(
+        GoldenScenario(
+            name="distserve-chaos-mixed-s9",
+            system="distserve",
+            rate_per_gpu=3.0,
+            seed=9,
+            num_requests=40,
+            arrival_process="bursty",
+            fault_plan="mixed",
+        )
+    )
+    cells.append(
+        GoldenScenario(
+            name="vllm-chaos-crash-s10",
+            system="vllm",
+            rate_per_gpu=3.0,
+            seed=10,
+            num_requests=40,
+            fault_plan="decode-crash",
+        )
+    )
+    # SLO-tier cell: a three-tier mix under a crash with a tight degraded
+    # in-flight cap pins priority-ordered admission/shedding (best-effort
+    # shed first) and the tiered trace payloads.
+    cells.append(
+        GoldenScenario(
+            name="windserve-chaos-tiered-s11",
+            system="windserve",
+            rate_per_gpu=3.5,
+            seed=11,
+            num_requests=60,
+            fault_plan="decode-crash",
+            tier_mix="interactive=0.25,standard=0.5,best_effort=0.25",
+            shed_limit=8,
+        )
+    )
     return tuple(cells)
 
 
@@ -270,6 +335,7 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         pairs_per_node=scenario.fleet_pairs_per_node,
         span_nodes=scenario.fleet_span_nodes,
         standby=scenario.fleet_standby,
+        tier_mix=scenario.tier_mix,
     )
     fleet = build_chaos_fleet(spec)
     golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
@@ -287,6 +353,7 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=spec.parsed_tier_mix(),
     )
     horizon = max(r.arrival_time for r in workload)
     plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
@@ -324,6 +391,7 @@ def run_scenario(scenario: GoldenScenario) -> GoldenRun:
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=TierMix.parse(scenario.tier_mix) if scenario.tier_mix else None,
     )
     if scenario.fault_plan is not None:
         from repro.faults import FaultInjector, build_fault_plan

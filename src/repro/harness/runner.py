@@ -25,6 +25,7 @@ from repro.serving.metrics import SLO, MetricsCollector
 from repro.serving.placement import plan_pd_placement
 from repro.serving.system import ServingSystem, SystemConfig
 from repro.harness.slo import derive_slo
+from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
 from repro.workloads.trace import generate_trace
 
@@ -59,6 +60,7 @@ class ExperimentSpec:
     arrival_process: str = "poisson"
     burstiness_cv: float = 2.0
     resilience: Optional[ResilienceConfig] = None  # None -> defaults
+    tier_mix: Optional[str] = None  # e.g. "interactive=0.2,standard=0.5,best_effort=0.3"
 
     @property
     def prefill_cfg(self) -> ParallelConfig:
@@ -163,6 +165,7 @@ def run_experiment(spec: ExperimentSpec, warmup_fraction: float = 0.05) -> Exper
         model=model,
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
     )
     metrics = system.run_to_completion(trace)
 

@@ -28,7 +28,7 @@ from repro.perf.interference import StreamContentionModel
 from repro.perf.roofline import LatencyModel
 from repro.serving.batching import Batch
 from repro.serving.metrics import MetricsCollector
-from repro.serving.request import Phase, Request
+from repro.serving.request import TIER_PRIORITY, Phase, Request
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceLog
 
@@ -150,8 +150,21 @@ class Instance:
     # -- queue API ------------------------------------------------------------
 
     def enqueue(self, request: Request) -> None:
-        """Add a request to this instance's FCFS waiting queue."""
-        self.waiting.append(request)
+        """Add a request to this instance's waiting queue.
+
+        FCFS within a tier; a higher-tier request is inserted ahead of all
+        queued lower-tier work (never ahead of its own tier), so interactive
+        traffic jumps best-effort backlogs while single-tier workloads keep
+        the exact FCFS order the tier-free goldens pin down.
+        """
+        rank = TIER_PRIORITY[request.tier]
+        slot = len(self.waiting)
+        while slot > 0 and TIER_PRIORITY[self.waiting[slot - 1].tier] > rank:
+            slot -= 1
+        if slot == len(self.waiting):
+            self.waiting.append(request)
+        else:
+            self.waiting.insert(slot, request)
         self.kick()
 
     @property

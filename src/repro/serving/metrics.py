@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.serving.request import Request
+from repro.serving.request import TIERS, Request
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -109,6 +109,7 @@ class MetricsCollector:
         """Degraded-mode admission control rejected ``request``."""
         self.shed.append(request)
         self.counters["requests_shed"] += 1
+        self.counters[f"requests_shed[{request.tier}]"] += 1
 
     def record_fault_event(self, kind: str, target: str, time: float) -> None:
         """Log one fault-lifecycle event (crash/detect/recover/...)."""
@@ -203,6 +204,66 @@ class MetricsCollector:
             out["tpot_attainment"] = self.tpot_attainment(slo)
         return out
 
+    # -- per-tier accounting ---------------------------------------------------
+
+    def completed_by_tier(self) -> dict[str, int]:
+        """Completed-request counts keyed by SLO tier (known tiers only)."""
+        counts = Counter(r.tier for r in self.completed)
+        return {tier: counts.get(tier, 0) for tier in TIERS}
+
+    def shed_by_tier(self) -> dict[str, int]:
+        """Shed-request counts keyed by SLO tier."""
+        counts = Counter(r.tier for r in self.shed)
+        return {tier: counts.get(tier, 0) for tier in TIERS}
+
+    def tier_attainment(
+        self, slos: Mapping[str, "SLO"], include_shed: bool = False
+    ) -> dict[str, float]:
+        """Per-tier SLO attainment, each tier judged against its own SLO.
+
+        With ``include_shed`` the denominator covers every submitted request
+        of the tier (a shed request certainly missed its SLO) — the honest
+        attainment for degraded-mode runs.  NaN for tiers with no outcomes
+        (matching :meth:`slo_attainment`).
+        """
+        out: dict[str, float] = {}
+        for tier in TIERS:
+            done = [r for r in self.completed if r.tier == tier]
+            total = len(done)
+            if include_shed:
+                total += sum(1 for r in self.shed if r.tier == tier)
+            slo = slos.get(tier)
+            if not total or slo is None:
+                out[tier] = float("nan")
+                continue
+            out[tier] = sum(slo.met_by(r) for r in done) / total
+        return out
+
+    def tier_goodput(self, slos: Mapping[str, "SLO"]) -> dict[str, int]:
+        """Per-tier goodput: completions that met their own tier's SLO."""
+        out: dict[str, int] = {}
+        for tier in TIERS:
+            slo = slos.get(tier)
+            done = [r for r in self.completed if r.tier == tier]
+            out[tier] = sum(slo.met_by(r) for r in done) if slo is not None else 0
+        return out
+
+    def tier_report(self, slos: Mapping[str, "SLO"]) -> dict[str, dict]:
+        """One nested dict per tier: completed/shed/goodput/attainment."""
+        completed = self.completed_by_tier()
+        shed = self.shed_by_tier()
+        attainment = self.tier_attainment(slos)
+        goodput = self.tier_goodput(slos)
+        return {
+            tier: {
+                "completed": completed[tier],
+                "shed": shed[tier],
+                "goodput": goodput[tier],
+                "attainment": attainment[tier],
+            }
+            for tier in TIERS
+        }
+
     # -- resilience ----------------------------------------------------------
 
     def detection_latencies(self) -> list[float]:
@@ -230,7 +291,11 @@ class MetricsCollector:
         return {
             "instance_crashes": self.counters.get("instance_crash", 0),
             "requests_requeued": self.counters.get("crash_requeued", 0),
+            "requests_requeued_by_tier": {
+                tier: self.counters.get(f"crash_requeued[{tier}]", 0) for tier in TIERS
+            },
             "requests_shed": len(self.shed),
+            "requests_shed_by_tier": self.shed_by_tier(),
             "transfer_retries": self.counters.get("transfer_retries", 0),
             "transfers_failed": self.counters.get("transfer_failed", 0),
             "torn_handoffs": self.counters.get("torn_handoff", 0),

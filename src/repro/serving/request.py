@@ -15,6 +15,37 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
+# -- SLO tiers -----------------------------------------------------------------
+
+#: Request classes, highest scheduling priority first.  ``interactive``
+#: traffic (chat front-ends) carries the tightest latency targets and is
+#: shed last in degraded mode; ``best_effort`` (batch/offline traffic) is
+#: shed first and tolerates the loosest targets.
+TIER_INTERACTIVE = "interactive"
+TIER_STANDARD = "standard"
+TIER_BEST_EFFORT = "best_effort"
+
+TIERS: tuple[str, ...] = (TIER_INTERACTIVE, TIER_STANDARD, TIER_BEST_EFFORT)
+
+#: Tier of every request that never asked for one.  All tier-free runs must
+#: behave byte-identically to the pre-tier simulator, so ``standard`` keeps
+#: exactly the old flat-cap admission behaviour.
+DEFAULT_TIER = TIER_STANDARD
+
+#: Lower rank = higher priority (``TIERS`` order).
+TIER_PRIORITY: dict[str, int] = {tier: rank for rank, tier in enumerate(TIERS)}
+
+
+def tier_ordered(requests):
+    """Stable sort by SLO tier, highest priority first.
+
+    Recovery and re-routing paths use this so interactive traffic re-queues
+    ahead of best-effort after a crash.  The sort is stable: single-tier
+    workloads keep their original order exactly (byte-identical goldens).
+    """
+    return sorted(requests, key=lambda r: TIER_PRIORITY[r.tier])
+
+
 class Phase(enum.Enum):
     """Where a request currently is in the pipeline."""
 
@@ -53,6 +84,7 @@ class Request:
     swap_out_count: int = 0
     migration_count: int = 0
     dispatched_prefill: bool = False  # prefill ran on the decode instance
+    tier: str = DEFAULT_TIER
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -60,8 +92,15 @@ class Request:
             raise ValueError("prompt must have at least one token")
         if self.output_tokens < 1:
             raise ValueError("output must have at least one token")
+        if self.tier not in TIER_PRIORITY:
+            raise ValueError(f"unknown SLO tier {self.tier!r}; known: {TIERS}")
         if self.prefill_required <= 0:
             self.prefill_required = self.prompt_tokens
+
+    @property
+    def priority(self) -> int:
+        """Scheduling rank of this request's tier (lower = more urgent)."""
+        return TIER_PRIORITY[self.tier]
 
     # -- derived state ---------------------------------------------------------
 

@@ -18,7 +18,7 @@ from repro.kvcache.transfer import KVTransferEngine, RetryPolicy, TransferJob
 from repro.models.spec import ModelSpec
 from repro.serving.instance import Instance, InstanceConfig
 from repro.serving.metrics import SLO, MetricsCollector
-from repro.serving.request import Phase, Request
+from repro.serving.request import DEFAULT_TIER, TIER_PRIORITY, Phase, Request, tier_ordered
 from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
@@ -72,6 +72,8 @@ class ServingSystem:
         self.transfers.on_failure = self.on_transfer_failed
         self.instances: list[Instance] = []
         self.submitted = 0
+        # Per-tier arrival counts backing the nested degraded-mode caps.
+        self._submitted_by_tier: dict[str, int] = {}
         self.halted = False
         # Scheduler-visible failure knowledge (filled at heartbeat
         # detection, cleared at recovery) — distinct from the ground-truth
@@ -165,10 +167,10 @@ class ServingSystem:
         """Re-queue requests whose KV died with ``instance``.
 
         Default policy: re-prefill from the prompt on the same instance
-        (work parks in its waiting queue and drains at recovery).
-        Subclasses re-route to surviving instances instead.
+        (work parks in its waiting queue and drains at recovery), highest
+        SLO tier first.  Subclasses re-route to surviving instances instead.
         """
-        for request in lost:
+        for request in tier_ordered(lost):
             if request.finished:
                 continue
             self._reset_for_requeue(request)
@@ -194,6 +196,7 @@ class ServingSystem:
         request.decode_queue_enter = None
         request.decode_start = None
         self.metrics.bump("crash_requeued")
+        self.metrics.bump(f"crash_requeued[{request.tier}]")
         self.trace.emit(
             self.sim.now, "resilience", "request-requeue", request_id=request.request_id
         )
@@ -207,20 +210,90 @@ class ServingSystem:
 
     # -- degraded-mode admission control ------------------------------------------
 
-    def _should_shed(self) -> bool:
+    def _should_shed(self, request: Request) -> bool:
+        """Priority-aware degraded-mode admission with nested tier caps.
+
+        Each tier sheds at its own effective cap (``degraded_inflight_limit``
+        scaled by the tier's admission fraction), and — crucially — a tier's
+        in-flight count includes only its own tier and higher-priority tiers.
+        Lower-tier backlog therefore cannot crowd out interactive traffic:
+        best-effort counts everything (shed first), interactive counts only
+        itself (shed last).  In a tier-free run every request is standard, so
+        the nested count equals the total and the ``standard`` fraction of
+        1.0 reproduces the flat cap exactly."""
         res = self.config.resilience
         if not res.shed_enabled or not self.known_failed:
             return False
-        in_flight = self.submitted - len(self.metrics.completed) - len(self.metrics.shed)
-        return in_flight > res.degraded_inflight_limit
+        rank = TIER_PRIORITY[request.tier]
+        in_flight = self._in_flight_at_or_above(rank)
+        return in_flight > res.tier_inflight_limit(request.tier)
+
+    def _in_flight_at_or_above(self, rank: int) -> int:
+        """In-flight population across tiers with priority rank <= ``rank``."""
+        in_flight = dict(self._submitted_by_tier)
+        for request in self.metrics.completed:
+            in_flight[request.tier] = in_flight.get(request.tier, 0) - 1
+        for request in self.metrics.shed:
+            in_flight[request.tier] = in_flight.get(request.tier, 0) - 1
+        return sum(
+            count
+            for tier, count in in_flight.items()
+            if TIER_PRIORITY.get(tier, 0) <= rank
+        )
 
     def _shed(self, request: Request) -> None:
         request.phase = Phase.SHED
         request.extra["shed_time"] = self.sim.now
         self.metrics.record_shed(request)
-        self.trace.emit(
-            self.sim.now, "resilience", "request-shed", request_id=request.request_id
-        )
+        # The tier rides along only when set: tier-free goldens stay
+        # byte-identical.
+        payload = {"request_id": request.request_id}
+        if request.tier != DEFAULT_TIER:
+            payload["tier"] = request.tier
+        self.trace.emit(self.sim.now, "resilience", "request-shed", **payload)
+
+    def _displace_lower_tier(self, request: Request) -> Optional[Request]:
+        """Evict a queued strictly-lower-priority request in favour of
+        ``request``.
+
+        Scans every live instance's waiting queue for requests that have not
+        started any work, and picks the lowest-priority one (latest arrival
+        breaking ties) so that under a deep degraded-mode backlog the shed
+        population concentrates in the lowest tiers regardless of arrival
+        order.  With a uniform tier population there is never a strictly
+        lower tier queued, so tier-free runs are untouched."""
+        rank = TIER_PRIORITY[request.tier]
+        victim: Optional[Request] = None
+        victim_host: Optional[Instance] = None
+        for instance in self.instances:
+            if instance.failed:
+                continue
+            for queued in instance.waiting:
+                if TIER_PRIORITY[queued.tier] <= rank:
+                    continue
+                if (
+                    queued.phase is not Phase.WAITING_PREFILL
+                    or queued.prefilled_tokens
+                    or queued.output_generated
+                ):
+                    continue
+                if victim is None or (
+                    TIER_PRIORITY[queued.tier],
+                    queued.arrival_time,
+                    queued.request_id,
+                ) > (
+                    TIER_PRIORITY[victim.tier],
+                    victim.arrival_time,
+                    victim.request_id,
+                ):
+                    victim = queued
+                    victim_host = instance
+        if victim is None:
+            return None
+        victim_host.waiting.remove(victim)
+        self.metrics.bump("shed_displaced")
+        self._shed(victim)
+        return victim
 
     # -- failure injection -------------------------------------------------------
 
@@ -325,10 +398,28 @@ class ServingSystem:
 
     def _arrive(self, request: Request) -> None:
         self.submitted += 1
-        if self._should_shed():
-            self._shed(request)
-            return
+        self._submitted_by_tier[request.tier] = (
+            self._submitted_by_tier.get(request.tier, 0) + 1
+        )
+        if self._should_shed(request):
+            # A higher-tier arrival over its cap displaces a queued
+            # lower-tier request rather than being dropped itself.
+            if self._displace_lower_tier(request) is None:
+                self._shed(request)
+                return
         self.submit(request)
+
+    def forget_arrival(self, request: Request) -> None:
+        """Remove a request from arrival accounting after it re-routes away.
+
+        A fleet that re-routes a dead member's in-flight work to survivors
+        must also move the arrival counts, or the dead member reports
+        phantom load forever (it will never record the completion).
+        """
+        self.submitted -= 1
+        self._submitted_by_tier[request.tier] = (
+            self._submitted_by_tier.get(request.tier, 0) - 1
+        )
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)

@@ -89,9 +89,15 @@ def fingerprint_records(records: Iterable["TraceRecord"]) -> str:
     return digest_lines(canonical_json(record_row(r)) for r in records)
 
 
+# Mirrors repro.serving.request.DEFAULT_TIER; kept literal so the sim layer
+# stays import-free of the serving layer.  Rows only carry a tier key when
+# the request's tier differs — tier-free fingerprints are unchanged.
+_DEFAULT_TIER = "standard"
+
+
 def request_row(request: Any) -> dict:
     """Final per-request metrics row (duck-typed over ``Request``)."""
-    return {
+    row = {
         "id": request.request_id,
         "prompt": request.prompt_tokens,
         "output": request.output_tokens,
@@ -106,6 +112,10 @@ def request_row(request: Any) -> dict:
         "recomputes": request.recompute_count,
         "dispatched": request.dispatched_prefill,
     }
+    tier = getattr(request, "tier", _DEFAULT_TIER)
+    if tier != _DEFAULT_TIER:
+        row["tier"] = tier
+    return row
 
 
 def fingerprint_requests(requests: Iterable[Any]) -> str:

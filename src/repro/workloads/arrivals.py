@@ -1,13 +1,80 @@
-"""Arrival processes.
+"""Arrival processes and SLO-tier mixes.
 
 The paper evaluates under Poisson arrivals; a Gamma-renewal process with a
 coefficient of variation above 1 is provided as well, for robustness
-experiments under bursty production-like traffic.
+experiments under bursty production-like traffic.  A :class:`TierMix`
+assigns each arrival an SLO tier (interactive/standard/best_effort)
+deterministically from a dedicated RNG stream.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.serving.request import TIER_PRIORITY, TIERS
+
+
+@dataclass(frozen=True)
+class TierMix:
+    """A weighted mix of SLO tiers assigned to arriving requests.
+
+    ``weights`` pairs tier names with positive weights (any scale; they are
+    normalised when sampling).  The canonical text form —
+    ``"interactive=0.2,standard=0.5,best_effort=0.3"`` — round-trips through
+    :meth:`parse` / :meth:`spec_string` and is what the CLI ``--tier-mix``
+    knob and the golden-scenario metadata carry.
+    """
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("a tier mix needs at least one tier")
+        seen = set()
+        for tier, weight in self.weights:
+            if tier not in TIER_PRIORITY:
+                raise ValueError(f"unknown SLO tier {tier!r}; known: {TIERS}")
+            if tier in seen:
+                raise ValueError(f"tier {tier!r} appears twice in the mix")
+            if not weight > 0:
+                raise ValueError(f"tier {tier!r} needs a positive weight, got {weight}")
+            seen.add(tier)
+
+    @classmethod
+    def parse(cls, text: str) -> "TierMix":
+        """Parse ``"interactive=0.2,standard=0.5,best_effort=0.3"``."""
+        weights = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"cannot parse tier-mix entry {part!r}; expected tier=weight"
+                )
+            tier, raw = part.split("=", 1)
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise ValueError(f"tier {tier.strip()!r} has non-numeric weight {raw!r}")
+            weights.append((tier.strip(), weight))
+        return cls(weights=tuple(weights))
+
+    def spec_string(self) -> str:
+        """The canonical text form (parse/spec_string round-trips)."""
+        return ",".join(f"{tier}={weight:g}" for tier, weight in self.weights)
+
+    def probabilities(self) -> tuple[tuple[str, float], ...]:
+        total = sum(weight for _, weight in self.weights)
+        return tuple((tier, weight / total) for tier, weight in self.weights)
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[str]:
+        """Draw ``n`` tier assignments (one RNG draw batch, deterministic)."""
+        probs = self.probabilities()
+        indices = rng.choice(len(probs), size=n, p=[p for _, p in probs])
+        return [probs[int(i)][0] for i in indices]
 
 
 def poisson_arrivals(

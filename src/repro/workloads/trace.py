@@ -10,9 +10,9 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.models.spec import ModelSpec
-from repro.serving.request import Request
+from repro.serving.request import DEFAULT_TIER, Request
 from repro.sim.random import RandomStreams
-from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+from repro.workloads.arrivals import TierMix, gamma_arrivals, poisson_arrivals
 from repro.workloads.datasets import DatasetProfile
 
 
@@ -76,15 +76,19 @@ class Trace:
     # -- serialisation ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        rows = [
-            {
+        rows = []
+        for r in self.requests:
+            row = {
                 "id": r.request_id,
                 "arrival": r.arrival_time,
                 "prompt": r.prompt_tokens,
                 "output": r.output_tokens,
             }
-            for r in self.requests
-        ]
+            # The tier key appears only when set: tier-free trace files
+            # stay byte-identical to pre-tier recordings.
+            if r.tier != DEFAULT_TIER:
+                row["tier"] = r.tier
+            rows.append(row)
         Path(path).write_text(json.dumps({"name": self.name, "rate": self.rate, "rows": rows}))
 
     @classmethod
@@ -96,6 +100,7 @@ class Trace:
                 prompt_tokens=row["prompt"],
                 output_tokens=row["output"],
                 arrival_time=row["arrival"],
+                tier=row.get("tier", DEFAULT_TIER),
             )
             for row in data["rows"]
         ]
@@ -111,6 +116,7 @@ def generate_trace(
     start_id: int = 0,
     arrival_process: str = "poisson",
     burstiness_cv: float = 2.0,
+    tier_mix: Optional[TierMix] = None,
 ) -> Trace:
     """Sample an arrival trace from a dataset profile.
 
@@ -118,7 +124,11 @@ def generate_trace(
     ``"bursty"`` (Gamma renewals with inter-arrival CV ``burstiness_cv``).
     When ``model`` is given, prompt+output lengths are clamped so the full
     sequence fits the model's context window (as real benchmark harnesses
-    must do — OPT's 2K limit truncates long ShareGPT turns).
+    must do — OPT's 2K limit truncates long ShareGPT turns).  With a
+    ``tier_mix``, each request draws an SLO tier from the dedicated
+    ``"tiers"`` RNG stream; without one the stream is never touched, so
+    tier-free traces (and their RNG registries) are byte-identical to
+    pre-tier recordings.
     """
     streams = RandomStreams(seed)
     if arrival_process == "poisson":
@@ -131,6 +141,9 @@ def generate_trace(
         raise ValueError(f"unknown arrival_process {arrival_process!r}")
     prompts = dataset.prompt.sample(streams.get("prompt-lengths"), num_requests)
     outputs = dataset.output.sample(streams.get("output-lengths"), num_requests)
+    tiers = None
+    if tier_mix is not None:
+        tiers = tier_mix.sample(streams.get("tiers"), num_requests)
 
     requests = []
     for i in range(num_requests):
@@ -144,6 +157,7 @@ def generate_trace(
                 prompt_tokens=prompt,
                 output_tokens=output,
                 arrival_time=float(arrivals[i]),
+                tier=tiers[i] if tiers is not None else DEFAULT_TIER,
             )
         )
     trace = Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")
