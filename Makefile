@@ -1,4 +1,4 @@
-.PHONY: install test bench results examples golden-check golden-record differential chaos clean
+.PHONY: install test bench results examples golden-check golden-record differential chaos policies clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,10 @@ chaos:
 	python -m repro chaos --smoke
 	python -m repro chaos --fleet --smoke
 	python -m repro chaos --fleet --smoke --tier-mix interactive=0.25,standard=0.5,best_effort=0.25
+
+policies:
+	python -m repro chaos --fleet --smoke --router tier-aware --tier-mix interactive=0.25,standard=0.5,best_effort=0.25
+	python -m repro chaos --smoke --admission preemptive --tier-mix interactive=0.5,standard=0.2,best_effort=0.3
 
 bench:
 	pytest benchmarks/ --benchmark-only

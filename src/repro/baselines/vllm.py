@@ -40,7 +40,12 @@ class VLLMInstance(Instance):
             if budget <= 0:
                 break
             if request.extra.get("chunk_in_flight"):
-                continue
+                if self._chunk_actually_in_flight(request):
+                    continue
+                # Stale marker: no lane is running a chunk for this request
+                # (it was re-queued here after a crash elsewhere with the
+                # flag still set).  Skipping would starve it forever.
+                request.extra.pop("chunk_in_flight", None)
             chunk = min(budget, request.remaining_prefill_tokens)
             if not self.kv.can_extend(request.request_id, chunk):
                 break
@@ -91,6 +96,21 @@ class VLLMInstance(Instance):
             timing=timing,
             meta={"plan": plan},
         )
+
+    def _chunk_actually_in_flight(self, request: Request) -> bool:
+        """True when some lane's in-flight batch holds a chunk of ``request``."""
+        return any(
+            lane.current_batch is not None
+            and request in lane.current_batch.prefill_requests
+            for lane in self.lanes
+        )
+
+    def enqueue(self, request: Request) -> None:
+        # A request can only wait here with no chunk in flight; drop any
+        # stale marker a crash-requeue path failed to clear so the chunking
+        # loop cannot skip the request forever.
+        request.extra.pop("chunk_in_flight", None)
+        super().enqueue(request)
 
     def _supports_recompute(self) -> bool:
         return True  # colocated engine can re-prefill locally

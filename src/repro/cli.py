@@ -269,6 +269,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         arrival_process=args.arrivals,
         burstiness_cv=args.burstiness,
         tier_mix=args.tier_mix,
+        admission_policy=args.admission,
     )
     rows = [r.row() for r in results]
     if args.json:
@@ -333,9 +334,11 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
         burstiness_cv=args.burstiness,
         num_nodes=nodes,
         pairs_per_node=pairs,
+        policy=args.router or "round-robin",
         span_nodes=args.span_nodes,
         standby=standby,
         tier_mix=args.tier_mix,
+        admission_policy=args.admission,
     )
     if args.json:
         payload = [
@@ -536,6 +539,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--span-nodes",
         action="store_true",
         help="place each pair's decode on the next node (hand-offs cross NICs)",
+    )
+    from repro.policies import ADMISSION_POLICIES, ROUTING_POLICIES
+
+    chaos_p.add_argument(
+        "--router",
+        choices=ROUTING_POLICIES.names(),
+        default=None,
+        help="fleet routing policy (with --fleet; default round-robin)",
+    )
+    chaos_p.add_argument(
+        "--admission",
+        choices=ADMISSION_POLICIES.names(),
+        default="nested-caps",
+        help="degraded-mode admission policy",
     )
     _add_workload_args(chaos_p)
     # Chaos checks invariants, not percentiles; keep runs quick.

@@ -113,15 +113,7 @@ class AutoscalingFleet(ServingFleet):
         ]
         if not candidates:
             candidates = self.eligible_members()
-        if self.policy == "round-robin":
-            index = candidates[self._rr_next % len(candidates)]
-            self._rr_next += 1
-            return index
-        if self.policy == "least-loaded":
-            return min(candidates, key=lambda i: _member_load(self.members[i]))
-        from repro.core.fleet import _predicted_ttft
-
-        return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
+        return self.router.select(self, candidates, request)
 
     def submit(self, request: Request) -> int:
         self._ensure_heartbeat()

@@ -3,14 +3,11 @@
 "There are still many pressing issues to be addressed in large-scale
 deployment, such as load balancing across instances" — this module scales
 WindServe (or any serving system) out to several independent prefill/decode
-pairs on a shared cluster, with a pluggable request router:
-
-* ``round-robin`` — classic stateless spreading;
-* ``least-loaded`` — joins the member with the fewest queued+running
-  requests;
-* ``predicted-ttft`` — asks each WindServe member's Profiler what the new
-  request's TTFT would be and joins the cheapest (the Global Scheduler's
-  prediction machinery reused as a cluster-level balancer).
+pairs on a shared cluster, with a pluggable request router drawn from the
+scheduling-policy layer (:mod:`repro.policies.routing`): ``round-robin``,
+``least-loaded``, ``predicted-ttft`` (the Global Scheduler's prediction
+machinery reused as a cluster-level balancer), and ``tier-aware``
+(tier-weighted load; best-effort absorbs stragglers).
 
 All members share one simulator and one cluster topology, so their KV
 transfers and swaps contend on real links.
@@ -36,6 +33,8 @@ from repro.hardware.cluster import ClusterTopology
 from repro.models.parallelism import ParallelConfig
 from collections import Counter
 
+from repro.policies.base import policy_identity
+from repro.policies.routing import ROUTING_POLICIES, member_load as _member_load
 from repro.serving.metrics import MetricsCollector
 from repro.serving.placement import Placement
 from repro.serving.request import Phase, Request, tier_ordered
@@ -44,19 +43,9 @@ from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
 
-ROUTER_POLICIES = ("round-robin", "least-loaded", "predicted-ttft")
-
-
-def _member_load(member: ServingSystem) -> int:
-    """Requests arrived at ``member`` and still unresolved (not done, not shed)."""
-    return member.submitted - len(member.metrics.completed) - len(member.metrics.shed)
-
-
-def _predicted_ttft(member: ServingSystem, request: Request) -> float:
-    if isinstance(member, WindServeSystem):
-        return member.coordinator.predict_ttft(request)
-    # Fallback proxy for non-WindServe members.
-    return float(_member_load(member))
+# Router names come straight from the policy registry, so a newly
+# registered RoutingPolicy shows up in CLI choices automatically.
+ROUTER_POLICIES = ROUTING_POLICIES.names()
 
 
 class ServingFleet:
@@ -65,8 +54,7 @@ class ServingFleet:
     def __init__(self, members: Sequence[ServingSystem], policy: str = "predicted-ttft") -> None:
         if not members:
             raise ValueError("a fleet needs at least one member")
-        if policy not in ROUTER_POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; known: {ROUTER_POLICIES}")
+        self.router = ROUTING_POLICIES.create(policy)
         sims = {id(m.sim) for m in members}
         if len(sims) != 1:
             raise ValueError("all fleet members must share one simulator")
@@ -77,7 +65,6 @@ class ServingFleet:
         self.cluster: Optional[ClusterTopology] = (
             topology if isinstance(topology, ClusterTopology) else None
         )
-        self._rr_next = 0
         self.routed: list[int] = [0] * len(members)
         # Router *knowledge*: members declared dead by detection.
         self.failed: set[int] = set()
@@ -92,6 +79,14 @@ class ServingFleet:
         self.metrics = MetricsCollector()
         self.trace = TraceLog(enabled=False)
         self.replacement_lags: list[float] = []
+        # Let the router observe completions on every member (stateful
+        # policies adapt without the fleet subclassing each system type).
+        for i, member in enumerate(self.members):
+            member.finish_listeners.append(
+                lambda request, instance, index=i: self.router.observe_completion(
+                    self, index, request
+                )
+            )
 
     # -- placement introspection ----------------------------------------------
 
@@ -121,14 +116,7 @@ class ServingFleet:
         return alive
 
     def select_member(self, request: Request) -> int:
-        candidates = self.eligible_members()
-        if self.policy == "round-robin":
-            index = candidates[self._rr_next % len(candidates)]
-            self._rr_next += 1
-            return index
-        if self.policy == "least-loaded":
-            return min(candidates, key=lambda i: _member_load(self.members[i]))
-        return min(candidates, key=lambda i: _predicted_ttft(self.members[i], request))
+        return self.router.select(self, self.eligible_members(), request)
 
     def submit(self, request: Request) -> int:
         """Route one request; returns the chosen member index.
@@ -180,6 +168,7 @@ class ServingFleet:
         if len(self.failed) + 1 >= len(self.members):
             raise RuntimeError("every fleet member would have failed")
         self.failed.add(index)
+        self.router.observe_failure(self, index)
         member = self.members[index]
         self.metrics.record_fault_event("member-detect", member.name, self.sim.now)
         self.trace.emit(self.sim.now, "fleet", "member-detect", member=member.name)
@@ -339,6 +328,14 @@ class ServingFleet:
 
     # -- determinism -------------------------------------------------------------
 
+    def policy_identity(self) -> tuple[tuple[str, str], ...]:
+        """Non-baseline policy choices across the fleet (router + members)."""
+        pairs = dict(policy_identity(router=self.policy))
+        for member in self.members:
+            for kind, name in member.policy_identity():
+                pairs.setdefault(kind, name)
+        return tuple(sorted(pairs.items()))
+
     def run_fingerprint(self, rng_registry: Iterable[str] = ()) -> RunFingerprint:
         """Composite determinism fingerprint across the whole fleet.
 
@@ -353,6 +350,7 @@ class ServingFleet:
             rng_registry=rng_registry,
             events_processed=digest["events_processed"],
             horizon=digest["now"],
+            policies=self.policy_identity(),
         )
 
     @property

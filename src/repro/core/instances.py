@@ -240,12 +240,11 @@ class WindServeDecodeInstance(Instance):
         self.finish_decode_iteration(lane, batch)
         self._system.maybe_reschedule()
 
-    def _pick_swap_victim(self, exclude: Optional[Request] = None) -> Optional[Request]:
-        candidates = [
+    def swap_candidates(self, exclude: Optional[Request] = None) -> list[Request]:
+        # A mid-migration request's KV is being copied out; evicting it here
+        # would tear the transfer, so it is never preemption-eligible.
+        return [
             r
             for r in self.running_requests
             if r is not exclude and not r.extra.get("migrating")
         ]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda r: r.arrival_time)

@@ -65,6 +65,8 @@ class ChaosSpec:
     # None keeps the workload tier-free (byte-identical to pre-tier runs).
     tier_mix: Optional[str] = None
     resilience: Optional[ResilienceConfig] = None
+    # Degraded-mode admission policy (see repro.policies.admission).
+    admission_policy: str = "nested-caps"
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
@@ -81,6 +83,7 @@ class ChaosSpec:
             burstiness_cv=self.burstiness_cv,
             tier_mix=self.tier_mix,
             resilience=self.resilience,
+            admission_policy=self.admission_policy,
         )
 
 
@@ -374,6 +377,8 @@ class FleetChaosSpec:
     # SLO-tier mix spec; None keeps the workload tier-free.
     tier_mix: Optional[str] = None
     resilience: Optional[ResilienceConfig] = None
+    # Degraded-mode admission policy applied to every member.
+    admission_policy: str = "nested-caps"
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
@@ -438,6 +443,7 @@ def build_chaos_fleet(spec: FleetChaosSpec):
     config = SystemConfig(
         model=get_model(spec.model),
         resilience=spec.resilience or ResilienceConfig(),
+        admission_policy=spec.admission_policy,
     )
     fleet_factory = None
     if spec.standby:

@@ -66,6 +66,8 @@ GOLDEN_TAGS = frozenset(
         "member-detect",
         "member-rejoin",
         "member-replace",
+        # Preemptive-displacement decisions (admission_policy="preemptive").
+        "preempt-displace",
     }
 )
 
@@ -101,6 +103,9 @@ class GoldenScenario:
     fleet_pairs_per_node: int = 2
     fleet_standby: int = 0
     fleet_span_nodes: bool = False
+    # Scheduling-policy cells: non-default router/admission choices.
+    fleet_policy: str = "round-robin"
+    admission_policy: str = "nested-caps"
 
     def spec(self) -> ExperimentSpec:
         instance = InstanceConfig()
@@ -124,6 +129,7 @@ class GoldenScenario:
             decode_parallel=self.decode_parallel,
             tier_mix=self.tier_mix,
             resilience=resilience,
+            admission_policy=self.admission_policy,
         )
 
     def meta(self) -> dict:
@@ -154,6 +160,10 @@ class GoldenScenario:
             meta["fleet_pairs_per_node"] = self.fleet_pairs_per_node
             meta["fleet_standby"] = self.fleet_standby
             meta["fleet_span_nodes"] = self.fleet_span_nodes
+        if self.fleet_policy != "round-robin":
+            meta["fleet_policy"] = self.fleet_policy
+        if self.admission_policy != "nested-caps":
+            meta["admission_policy"] = self.admission_policy
         return meta
 
 
@@ -299,6 +309,22 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             shed_limit=8,
         )
     )
+    # Scheduling-policy cell: a tiered fleet under a member crash routed by
+    # the tier-aware policy — pins the tier-weighted routing decisions (and
+    # the non-baseline policy identity in the fingerprint).
+    cells.append(
+        GoldenScenario(
+            name="windserve-fleet-tieraware-s12",
+            system="windserve",
+            rate_per_gpu=2.0,
+            seed=12,
+            num_requests=48,
+            fault_plan="member-crash",
+            fleet_nodes=2,
+            fleet_policy="tier-aware",
+            tier_mix="interactive=0.25,standard=0.5,best_effort=0.25",
+        )
+    )
     return tuple(cells)
 
 
@@ -333,9 +359,11 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         burstiness_cv=scenario.burstiness_cv,
         num_nodes=scenario.fleet_nodes,
         pairs_per_node=scenario.fleet_pairs_per_node,
+        policy=scenario.fleet_policy,
         span_nodes=scenario.fleet_span_nodes,
         standby=scenario.fleet_standby,
         tier_mix=scenario.tier_mix,
+        admission_policy=scenario.admission_policy,
     )
     fleet = build_chaos_fleet(spec)
     golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
@@ -552,6 +580,7 @@ def diff_against_golden(path: Path, run: GoldenRun) -> GoldenDiff:
         events_processed=fp["events_processed"],
         horizon=fp["horizon"],
         version=fp["version"],
+        policies=tuple(sorted(fp.get("policies", {}).items())),
     )
     components = recorded.explain_mismatch(run.fingerprint)
     diff.messages.append(

@@ -61,6 +61,7 @@ class ExperimentSpec:
     burstiness_cv: float = 2.0
     resilience: Optional[ResilienceConfig] = None  # None -> defaults
     tier_mix: Optional[str] = None  # e.g. "interactive=0.2,standard=0.5,best_effort=0.3"
+    admission_policy: str = "nested-caps"  # see repro.policies.admission
 
     @property
     def prefill_cfg(self) -> ParallelConfig:
@@ -127,6 +128,7 @@ def build_system(spec: ExperimentSpec, slo: Optional[SLO] = None) -> ServingSyst
         instance=spec.instance_config,
         decode_instance=spec.decode_instance_config,
         resilience=spec.resilience or ResilienceConfig(),
+        admission_policy=spec.admission_policy,
     )
 
     if spec.system == "vllm":

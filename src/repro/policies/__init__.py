@@ -1,0 +1,29 @@
+"""Unified scheduling-policy layer: routing, admission, preemption.
+
+See :mod:`repro.policies.base` for the interfaces and
+``docs/policies.md`` for how to add a policy.
+"""
+
+from repro.policies.base import (
+    FINGERPRINT_BASELINES,
+    AdmissionPolicy,
+    PolicyRegistry,
+    PreemptionPolicy,
+    RoutingPolicy,
+    policy_identity,
+)
+from repro.policies.admission import ADMISSION_POLICIES
+from repro.policies.preemption import PREEMPTION_POLICIES
+from repro.policies.routing import ROUTING_POLICIES
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "FINGERPRINT_BASELINES",
+    "PREEMPTION_POLICIES",
+    "ROUTING_POLICIES",
+    "AdmissionPolicy",
+    "PolicyRegistry",
+    "PreemptionPolicy",
+    "RoutingPolicy",
+    "policy_identity",
+]

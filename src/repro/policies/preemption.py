@@ -1,0 +1,58 @@
+"""Instance-level preemption (swap-victim) policies.
+
+``latest-arrived`` is the verbatim extraction of the pre-policy-layer
+``Instance._pick_swap_victim``: when KV pressure forces an eviction, swap
+out the most recently arrived running request (it has the least sunk work).
+Instance subclasses narrow *eligibility* via ``Instance.swap_candidates``
+(e.g. WindServe decode instances never evict a mid-migration request); the
+policy only orders the eligible set, so extraction is byte-identical.
+
+``tier-aware`` prefers the lowest tier first (latest arrival breaking
+ties), so under memory pressure best-effort work is evicted before
+interactive work regardless of arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.policies.base import PolicyRegistry, PreemptionPolicy
+from repro.serving.request import TIER_PRIORITY, Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.instance import Instance
+
+PREEMPTION_POLICIES = PolicyRegistry("preemption")
+
+
+@PREEMPTION_POLICIES.register("latest-arrived")
+class LatestArrivedPreemption(PreemptionPolicy):
+    """Swap out the most recently arrived eligible request (least sunk work)."""
+
+    name = "latest-arrived"
+
+    def pick_swap_victim(
+        self, instance: "Instance", exclude: Optional[Request] = None
+    ) -> Optional[Request]:
+        candidates = instance.swap_candidates(exclude)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.arrival_time)
+
+
+@PREEMPTION_POLICIES.register("tier-aware")
+class TierAwarePreemption(PreemptionPolicy):
+    """Swap out the lowest tier first; latest arrival breaks ties within a tier."""
+
+    name = "tier-aware"
+
+    def pick_swap_victim(
+        self, instance: "Instance", exclude: Optional[Request] = None
+    ) -> Optional[Request]:
+        candidates = instance.swap_candidates(exclude)
+        if not candidates:
+            return None
+        return max(
+            candidates,
+            key=lambda r: (TIER_PRIORITY[r.tier], r.arrival_time, r.request_id),
+        )

@@ -1,0 +1,150 @@
+"""Fleet routing policies (paper §7 load balancing, plus tier-awareness).
+
+The first three are verbatim extractions of the pre-policy-layer router:
+
+* ``round-robin`` — classic stateless spreading;
+* ``least-loaded`` — join the member with the fewest unresolved requests;
+* ``predicted-ttft`` — ask each member what the new request's TTFT would
+  be and join the cheapest.  WindServe members answer via their
+  Coordinator's Profiler; other member types get an analytic
+  estimated-seconds score (queued prefill tokens + the new prompt through
+  the member's own latency model) so mixed fleets compare commensurable
+  numbers — previously non-WindServe members returned a raw request count
+  against the WindServe members' seconds.
+
+``tier-aware`` is new (ROADMAP item): interactive and standard traffic
+joins the member with the smallest *tier-weighted* load, while best-effort
+requests are deliberately routed to the most-loaded member — they absorb
+the stragglers, keeping the lightly loaded members fast for interactive
+work.  By construction an interactive request is never assigned to a
+strictly more-loaded member than a simultaneous best-effort one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.policies.base import PolicyRegistry, RoutingPolicy
+from repro.serving.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fleet import ServingFleet
+    from repro.serving.system import ServingSystem
+
+ROUTING_POLICIES = PolicyRegistry("routing")
+
+
+def member_load(member: "ServingSystem") -> int:
+    """Requests arrived at ``member`` and still unresolved (not done, not shed)."""
+    return member.submitted - len(member.metrics.completed) - len(member.metrics.shed)
+
+
+@ROUTING_POLICIES.register("round-robin")
+class RoundRobinRouting(RoutingPolicy):
+    """Stateless spreading over the eligible members, in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(
+        self, fleet: "ServingFleet", candidates: Sequence[int], request: Request
+    ) -> int:
+        index = candidates[self._next % len(candidates)]
+        self._next += 1
+        return index
+
+
+@ROUTING_POLICIES.register("least-loaded")
+class LeastLoadedRouting(RoutingPolicy):
+    """Join the member with the fewest queued+running requests."""
+
+    name = "least-loaded"
+
+    def select(
+        self, fleet: "ServingFleet", candidates: Sequence[int], request: Request
+    ) -> int:
+        return min(candidates, key=lambda i: member_load(fleet.members[i]))
+
+
+@ROUTING_POLICIES.register("predicted-ttft")
+class PredictedTTFTRouting(RoutingPolicy):
+    """Join the member predicting the cheapest TTFT for this request."""
+
+    name = "predicted-ttft"
+
+    def select(
+        self, fleet: "ServingFleet", candidates: Sequence[int], request: Request
+    ) -> int:
+        return min(
+            candidates, key=lambda i: self.predicted_ttft(fleet.members[i], request)
+        )
+
+    @staticmethod
+    def predicted_ttft(member: "ServingSystem", request: Request) -> float:
+        """Estimated seconds until the request's first token on ``member``.
+
+        WindServe members answer through the Global Scheduler's Profiler;
+        any other member type is scored analytically on the same scale —
+        the queued prefill backlog plus the new prompt through the member's
+        own prefill latency model, after the busiest lane's current batch
+        drains.  (The old fallback returned a raw request *count*, which is
+        incommensurable with seconds and mis-ranked mixed fleets.)
+        """
+        from repro.core.windserve import WindServeSystem
+
+        if isinstance(member, WindServeSystem):
+            return member.coordinator.predict_ttft(request)
+        prefill_capable = (
+            [member.prefill_instance]
+            if hasattr(member, "prefill_instance")
+            else member.instances
+        )
+        now = member.sim.now
+        best = float("inf")
+        for instance in prefill_capable:
+            if instance.failed or instance.name in member.known_failed:
+                continue
+            busy = [lane.busy_until - now for lane in instance.lanes if lane.busy]
+            remaining = max(0.0, min(busy)) if busy else 0.0
+            tokens = instance.queued_prefill_tokens() + request.prompt_tokens
+            best = min(best, remaining + instance.latency.prefill(tokens).duration)
+        if best == float("inf"):
+            # Every instance is down; fall back to relative load so routing
+            # still makes a deterministic choice.
+            return float(member_load(member))
+        return best
+
+
+@ROUTING_POLICIES.register("tier-aware")
+class TierAwareRouting(RoutingPolicy):
+    """Tier-weighted load balancing (ROADMAP: tier-aware routing).
+
+    Each member's load is the tier-weighted count of its unresolved
+    requests — interactive work counts triple, standard double, best-effort
+    single — so a member busy with interactive traffic looks *heavier* than
+    one holding the same number of best-effort requests.  Interactive and
+    standard arrivals join the lightest member; best-effort arrivals join
+    the heaviest (they absorb the stragglers), which keeps the light
+    members fast for the latency-sensitive tiers.
+    """
+
+    name = "tier-aware"
+
+    #: Relative weight of one unresolved request, per tier.  Unknown tiers
+    #: weigh like ``standard``.
+    TIER_WEIGHTS = {"interactive": 3.0, "standard": 2.0, "best_effort": 1.0}
+
+    def weighted_load(self, member: "ServingSystem") -> float:
+        return sum(
+            self.TIER_WEIGHTS.get(tier, 2.0) * count
+            for tier, count in member.in_flight_by_tier().items()
+        )
+
+    def select(
+        self, fleet: "ServingFleet", candidates: Sequence[int], request: Request
+    ) -> int:
+        if request.tier == "best_effort":
+            return max(candidates, key=lambda i: self.weighted_load(fleet.members[i]))
+        return min(candidates, key=lambda i: self.weighted_load(fleet.members[i]))

@@ -26,6 +26,7 @@ from repro.models.parallelism import ParallelConfig
 from repro.models.spec import ModelSpec
 from repro.perf.interference import StreamContentionModel
 from repro.perf.roofline import LatencyModel
+from repro.policies.preemption import PREEMPTION_POLICIES
 from repro.serving.batching import Batch
 from repro.serving.metrics import MetricsCollector
 from repro.serving.request import TIER_PRIORITY, Phase, Request
@@ -49,6 +50,8 @@ class InstanceConfig:
     preemption_mode: str = "swap"  # "swap" (to CPU DRAM) or "recompute"
     swap_in_free_blocks: int = 64
     kv_capacity_override_tokens: Optional[int] = None
+    # Swap-victim selection policy name (see repro.policies.preemption).
+    preemption_policy: str = "latest-arrived"
 
 
 class Lane:
@@ -105,6 +108,7 @@ class Instance:
         self.contention = contention or StreamContentionModel()
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.latency = LatencyModel(spec, gpu, parallel)
+        self.preemption = PREEMPTION_POLICIES.create(config.preemption_policy)
         self.system: Optional["ServingSystem"] = None
 
         self.kv = KVBlockManager(
@@ -313,15 +317,21 @@ class Instance:
         self.trace.emit(now, self.name, "finish", request_id=request.request_id)
         if self.system is not None:
             self.system.on_request_finished(request, self)
+            for listener in list(self.system.finish_listeners):
+                listener(request, self)
 
     # -- swapping ----------------------------------------------------------------
 
+    def swap_candidates(self, exclude: Optional[Request] = None) -> list[Request]:
+        """Running requests *eligible* for preemption.
+
+        Subclasses narrow eligibility (e.g. a mid-migration request must not
+        be evicted); the preemption policy only orders this set.
+        """
+        return [r for r in self.running_requests if r is not exclude]
+
     def _pick_swap_victim(self, exclude: Optional[Request] = None) -> Optional[Request]:
-        """Latest-arrived running request (vLLM's preemption order)."""
-        candidates = [r for r in self.running_requests if r is not exclude]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda r: r.arrival_time)
+        return self.preemption.pick_swap_victim(self, exclude)
 
     def _swap_out(self, victim: Request) -> None:
         for lane in self.lanes:

@@ -16,9 +16,11 @@ from repro.hardware.gpu import GPUSpec, A800_80GB
 from repro.hardware.topology import NodeTopology
 from repro.kvcache.transfer import KVTransferEngine, RetryPolicy, TransferJob
 from repro.models.spec import ModelSpec
+from repro.policies.admission import ADMISSION_POLICIES
+from repro.policies.base import FINGERPRINT_BASELINES, policy_identity
 from repro.serving.instance import Instance, InstanceConfig
 from repro.serving.metrics import SLO, MetricsCollector
-from repro.serving.request import DEFAULT_TIER, TIER_PRIORITY, Phase, Request, tier_ordered
+from repro.serving.request import DEFAULT_TIER, Phase, Request, tier_ordered
 from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
@@ -35,6 +37,8 @@ class SystemConfig:
     decode_instance: Optional[InstanceConfig] = None  # falls back to `instance`
     trace_enabled: bool = False
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    # Degraded-mode admission policy name (see repro.policies.admission).
+    admission_policy: str = "nested-caps"
 
     @property
     def decode_instance_config(self) -> InstanceConfig:
@@ -70,6 +74,10 @@ class ServingSystem:
             ),
         )
         self.transfers.on_failure = self.on_transfer_failed
+        self.admission = ADMISSION_POLICIES.create(config.admission_policy)
+        # Callables invoked with each retired request (fleet routers
+        # subscribe here to observe completions without subclassing).
+        self.finish_listeners: list = []
         self.instances: list[Instance] = []
         self.submitted = 0
         # Per-tier arrival counts backing the nested degraded-mode caps.
@@ -209,37 +217,19 @@ class ServingSystem:
         """Hook: a KV transfer exhausted its retries (subclasses)."""
 
     # -- degraded-mode admission control ------------------------------------------
+    #
+    # Admission decisions live in the policy layer (repro.policies.admission);
+    # the system only exposes the state policies read (``in_flight_by_tier``)
+    # and the shed primitive they call back into.
 
-    def _should_shed(self, request: Request) -> bool:
-        """Priority-aware degraded-mode admission with nested tier caps.
-
-        Each tier sheds at its own effective cap (``degraded_inflight_limit``
-        scaled by the tier's admission fraction), and — crucially — a tier's
-        in-flight count includes only its own tier and higher-priority tiers.
-        Lower-tier backlog therefore cannot crowd out interactive traffic:
-        best-effort counts everything (shed first), interactive counts only
-        itself (shed last).  In a tier-free run every request is standard, so
-        the nested count equals the total and the ``standard`` fraction of
-        1.0 reproduces the flat cap exactly."""
-        res = self.config.resilience
-        if not res.shed_enabled or not self.known_failed:
-            return False
-        rank = TIER_PRIORITY[request.tier]
-        in_flight = self._in_flight_at_or_above(rank)
-        return in_flight > res.tier_inflight_limit(request.tier)
-
-    def _in_flight_at_or_above(self, rank: int) -> int:
-        """In-flight population across tiers with priority rank <= ``rank``."""
+    def in_flight_by_tier(self) -> dict[str, int]:
+        """Unresolved (arrived, not completed, not shed) requests per tier."""
         in_flight = dict(self._submitted_by_tier)
         for request in self.metrics.completed:
             in_flight[request.tier] = in_flight.get(request.tier, 0) - 1
         for request in self.metrics.shed:
             in_flight[request.tier] = in_flight.get(request.tier, 0) - 1
-        return sum(
-            count
-            for tier, count in in_flight.items()
-            if TIER_PRIORITY.get(tier, 0) <= rank
-        )
+        return in_flight
 
     def _shed(self, request: Request) -> None:
         request.phase = Phase.SHED
@@ -251,49 +241,6 @@ class ServingSystem:
         if request.tier != DEFAULT_TIER:
             payload["tier"] = request.tier
         self.trace.emit(self.sim.now, "resilience", "request-shed", **payload)
-
-    def _displace_lower_tier(self, request: Request) -> Optional[Request]:
-        """Evict a queued strictly-lower-priority request in favour of
-        ``request``.
-
-        Scans every live instance's waiting queue for requests that have not
-        started any work, and picks the lowest-priority one (latest arrival
-        breaking ties) so that under a deep degraded-mode backlog the shed
-        population concentrates in the lowest tiers regardless of arrival
-        order.  With a uniform tier population there is never a strictly
-        lower tier queued, so tier-free runs are untouched."""
-        rank = TIER_PRIORITY[request.tier]
-        victim: Optional[Request] = None
-        victim_host: Optional[Instance] = None
-        for instance in self.instances:
-            if instance.failed:
-                continue
-            for queued in instance.waiting:
-                if TIER_PRIORITY[queued.tier] <= rank:
-                    continue
-                if (
-                    queued.phase is not Phase.WAITING_PREFILL
-                    or queued.prefilled_tokens
-                    or queued.output_generated
-                ):
-                    continue
-                if victim is None or (
-                    TIER_PRIORITY[queued.tier],
-                    queued.arrival_time,
-                    queued.request_id,
-                ) > (
-                    TIER_PRIORITY[victim.tier],
-                    victim.arrival_time,
-                    victim.request_id,
-                ):
-                    victim = queued
-                    victim_host = instance
-        if victim is None:
-            return None
-        victim_host.waiting.remove(victim)
-        self.metrics.bump("shed_displaced")
-        self._shed(victim)
-        return victim
 
     # -- failure injection -------------------------------------------------------
 
@@ -401,12 +348,9 @@ class ServingSystem:
         self._submitted_by_tier[request.tier] = (
             self._submitted_by_tier.get(request.tier, 0) + 1
         )
-        if self._should_shed(request):
-            # A higher-tier arrival over its cap displaces a queued
-            # lower-tier request rather than being dropped itself.
-            if self._displace_lower_tier(request) is None:
-                self._shed(request)
-                return
+        if not self.admission.admit(self, request):
+            self._shed(request)
+            return
         self.submit(request)
 
     def forget_arrival(self, request: Request) -> None:
@@ -434,6 +378,21 @@ class ServingSystem:
 
     # -- determinism ---------------------------------------------------------
 
+    def policy_identity(self) -> tuple[tuple[str, str], ...]:
+        """Non-baseline policy choices, as (kind, name) fingerprint pairs.
+
+        Baseline choices are omitted so every golden recorded before the
+        policy layer existed keeps its exact digest.
+        """
+        preemption = {self.config.instance.preemption_policy}
+        if self.config.decode_instance is not None:
+            preemption.add(self.config.decode_instance.preemption_policy)
+        preemption.discard(FINGERPRINT_BASELINES["preemption"])
+        return policy_identity(
+            admission=self.config.admission_policy,
+            preemption="+".join(sorted(preemption)) if preemption else None,
+        )
+
     def run_fingerprint(self, rng_registry: Iterable[str] = ()) -> "RunFingerprint":
         """Composite determinism fingerprint of the run so far.
 
@@ -450,4 +409,5 @@ class ServingSystem:
             rng_registry=rng_registry,
             events_processed=digest["events_processed"],
             horizon=digest["now"],
+            policies=self.policy_identity(),
         )

@@ -147,6 +147,10 @@ class RunFingerprint:
     events_processed: int = 0
     horizon: float = 0.0
     version: int = FINGERPRINT_VERSION
+    # Non-baseline scheduling-policy choices, as sorted (kind, name) pairs.
+    # Baseline policies are omitted entirely so fingerprints recorded before
+    # the policy layer existed keep their exact digests.
+    policies: tuple[tuple[str, str], ...] = ()
 
     @property
     def value(self) -> str:
@@ -154,7 +158,7 @@ class RunFingerprint:
         return digest_lines([canonical_json(self.as_dict())])
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "version": self.version,
             "trace": self.trace_hash,
             "requests": self.requests_hash,
@@ -162,6 +166,9 @@ class RunFingerprint:
             "events_processed": self.events_processed,
             "horizon": self.horizon,
         }
+        if self.policies:
+            out["policies"] = {kind: name for kind, name in self.policies}
+        return out
 
     def explain_mismatch(self, other: "RunFingerprint") -> list[str]:
         """Name the components in which ``other`` diverges from ``self``."""
@@ -178,6 +185,8 @@ class RunFingerprint:
             )
         if self.horizon != other.horizon:
             diffs.append(f"horizon ({self.horizon!r} vs {other.horizon!r})")
+        if self.policies != other.policies:
+            diffs.append(f"policy identity ({self.policies} vs {other.policies})")
         return diffs
 
 
@@ -187,6 +196,7 @@ def fingerprint_run(
     rng_registry: Iterable[str] = (),
     events_processed: int = 0,
     horizon: float = 0.0,
+    policies: tuple[tuple[str, str], ...] = (),
 ) -> RunFingerprint:
     """Build the composite fingerprint from a run's raw artefacts."""
     return RunFingerprint(
@@ -195,4 +205,5 @@ def fingerprint_run(
         rng_hash=fingerprint_rng(rng_registry),
         events_processed=events_processed,
         horizon=horizon,
+        policies=policies,
     )

@@ -117,6 +117,60 @@ class TestMemoryPressure:
         assert system.replicas[0].kv.used_gpu_blocks == 0
 
 
+class TestStaleChunkMarker:
+    """Regression: a crash-requeued request must not keep a stale
+    ``chunk_in_flight`` marker, which made ``_form_batch`` skip it forever."""
+
+    @staticmethod
+    def _mid_prefill(replica, r, done=100):
+        """Park ``r`` mid-prefill on ``replica`` with the marker still set,
+        as a crash-requeue path that failed to clear it would leave it."""
+        from repro.serving.request import Phase
+
+        replica.kv.allocate(r.request_id, done)
+        r.phase = Phase.PREFILLING
+        r.prefilled_tokens = done
+        r.extra["chunk_in_flight"] = True
+        replica.prefilling.append(r)
+
+    def test_enqueue_clears_stale_marker(self):
+        # Tiny KV: the request stays waiting, so nothing re-plans a chunk
+        # and the marker's fate is observable.
+        system = make_system(kv_override=64)
+        replica = system.replicas[0]
+        r = request(1, prompt=200, output=3)
+        r.extra["chunk_in_flight"] = True  # left over from a crashed replica
+        replica.enqueue(r)
+        assert "chunk_in_flight" not in r.extra
+        assert r in replica.waiting
+
+    def test_form_batch_unsticks_stale_marker(self):
+        """With the marker set mid-prefill but no lane actually running a
+        chunk, the chunking loop clears it and plans the request instead of
+        starving it."""
+        system = make_system()
+        replica = system.replicas[0]
+        r = request(1, prompt=400, output=3)
+        self._mid_prefill(replica, r)
+        assert not replica._chunk_actually_in_flight(r)
+        batch = replica._form_batch(replica.lanes[0])
+        assert batch is not None and r in batch.prefill_requests
+
+    def test_genuinely_in_flight_chunk_still_skipped(self):
+        """The fix only clears *stale* markers: while a lane's current batch
+        really holds the request's chunk, no second chunk is co-planned."""
+        system = make_system()
+        replica = system.replicas[0]
+        r = request(1, prompt=400, output=3)
+        self._mid_prefill(replica, r)
+        lane = replica.lanes[0]
+        lane.current_batch = replica._form_batch(lane)
+        assert replica._chunk_actually_in_flight(r)
+        again = replica._form_batch(lane)
+        assert again is None or r not in again.prefill_requests
+        assert r.extra.get("chunk_in_flight")  # marker untouched
+
+
 class TestAccounting:
     def test_single_token_output(self):
         system = make_system()
