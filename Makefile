@@ -1,4 +1,4 @@
-.PHONY: install test bench results examples golden-check golden-record differential chaos policies clean
+.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record differential chaos policies clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,10 +24,19 @@ policies:
 	python -m repro chaos --fleet --smoke --router tier-aware --tier-mix interactive=0.25,standard=0.5,best_effort=0.25
 	python -m repro chaos --smoke --admission preemptive --tier-mix interactive=0.5,standard=0.2,best_effort=0.3
 
+# Scale benchmark: records the next BENCH_<n>.json perf-trajectory point
+# (see docs/performance.md).  bench-smoke is the seconds-scale CI variant.
 bench:
+	python -m repro bench
+
+bench-smoke:
+	python -m repro bench --smoke --out bench_smoke.json
+
+# Paper-figure benchmarks (pytest-benchmark suite feeding RESULTS.md).
+bench-figures:
 	pytest benchmarks/ --benchmark-only
 
-results: bench
+results: bench-figures
 	python scripts/collect_results.py
 
 examples:

@@ -2,17 +2,27 @@
 
 Not a paper experiment — a health metric for the repository: raw event
 throughput of the discrete-event core, and end-to-end simulated requests
-per wall-clock second for a full WindServe deployment.  Regressions here
-make every other bench slower.
+per wall-clock second.  Regressions here make every other bench slower.
+
+The measurement machinery lives in :mod:`repro.harness.perfbench` (the
+``python -m repro bench`` harness that records the ``BENCH_<n>.json``
+trajectory — see docs/performance.md); this file only adapts it to
+pytest-benchmark so ``make bench-figures`` plots include a perf point.
 """
 
 from __future__ import annotations
 
-from repro.harness.runner import ExperimentSpec, run_experiment
+from repro.harness.perfbench import (
+    BenchPhase,
+    BenchSpec,
+    run_bench,
+    validate_bench_payload,
+)
 from repro.sim.engine import Simulator
 
 
 def churn_events(n: int = 50_000) -> int:
+    """Raw engine churn: one self-rescheduling callback, n pops."""
     sim = Simulator()
     count = 0
 
@@ -32,20 +42,21 @@ def test_event_loop_throughput(benchmark):
     assert count == 50_000
 
 
-def serve_requests() -> int:
-    result = run_experiment(
-        ExperimentSpec(
-            system="windserve",
-            model="opt-13b",
-            dataset="sharegpt",
-            rate_per_gpu=3.0,
-            num_requests=300,
-            seed=1,
-        )
+def bench_single_phase(num_requests: int = 300) -> dict:
+    """One perfbench single-system phase; returns the validated payload."""
+    spec = BenchSpec(
+        label="pytest-benchmark",
+        num_requests=num_requests,
+        seed=1,
+        phases=(BenchPhase("single-windserve", "single", num_requests),),
     )
-    return result.summary["completed"]
+    payload = run_bench(spec)
+    assert validate_bench_payload(payload) == []
+    return payload
 
 
 def test_end_to_end_simulation_throughput(benchmark):
-    completed = benchmark.pedantic(serve_requests, rounds=3, iterations=1)
-    assert completed >= 280
+    payload = benchmark.pedantic(bench_single_phase, rounds=3, iterations=1)
+    (phase,) = payload["phases"]
+    assert phase["completed"] >= 280
+    assert phase["events_per_sec"] > 0

@@ -367,6 +367,41 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.perfbench import (
+        BenchSpec,
+        record_bench,
+        smoke_spec,
+        summarize,
+        validate_bench_payload,
+    )
+
+    if args.smoke:
+        spec = smoke_spec(num_requests=args.requests or 2_000, seed=args.seed)
+    else:
+        spec = BenchSpec(
+            label=args.label,
+            num_requests=args.requests or 100_000,
+            seed=args.seed,
+            model=args.model,
+            dataset=args.dataset,
+        )
+    baseline = None
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+    path, payload = record_bench(
+        spec, out=args.out, root=Path(args.root), baseline=baseline
+    )
+    problems = validate_bench_payload(payload)
+    if problems:  # record_bench already validates; belt-and-braces for --smoke CI
+        for problem in problems:
+            print(f"SCHEMA: {problem}")
+        return 1
+    print(summarize(payload))
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -557,6 +592,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(chaos_p)
     # Chaos checks invariants, not percentiles; keep runs quick.
     chaos_p.set_defaults(func=cmd_chaos, requests=120)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="scale benchmark: record a BENCH_<n>.json perf-trajectory point",
+    )
+    bench_p.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="single-phase request count (default: 100000, or 2000 with --smoke)",
+    )
+    bench_p.add_argument(
+        "--smoke", action="store_true", help="seconds-scale CI configuration"
+    )
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument("--label", default="scale")
+    bench_p.add_argument("--model", default="opt-13b", choices=sorted(MODEL_REGISTRY))
+    bench_p.add_argument(
+        "--dataset", default="sharegpt", choices=sorted(DATASET_REGISTRY)
+    )
+    bench_p.add_argument(
+        "--out", default=None, help="explicit output path (default: next BENCH_<n>.json)"
+    )
+    bench_p.add_argument(
+        "--root", default=".", help="directory holding the BENCH_<n>.json trajectory"
+    )
+    bench_p.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON file with pre-optimisation numbers to embed under 'baseline'",
+    )
+    bench_p.set_defaults(func=cmd_bench)
 
     models_p = sub.add_parser("models", help="list known model architectures")
     models_p.set_defaults(func=cmd_models)

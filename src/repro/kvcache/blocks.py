@@ -10,7 +10,6 @@ its GPUs, since KV tensors shard evenly across TP/PP ranks.
 from __future__ import annotations
 
 import enum
-import math
 from collections import Counter
 from dataclasses import dataclass
 
@@ -77,7 +76,9 @@ class KVBlockManager:
     # -- introspection -------------------------------------------------------
 
     def blocks_for(self, tokens: int) -> int:
-        return math.ceil(tokens / self.block_size)
+        # Integer ceiling division: exact for any token count, unlike
+        # float-division ceil, and measurably cheaper on the hot path.
+        return -(-tokens // self.block_size)
 
     @property
     def free_gpu_blocks(self) -> int:

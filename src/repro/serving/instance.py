@@ -52,6 +52,11 @@ class InstanceConfig:
     kv_capacity_override_tokens: Optional[int] = None
     # Swap-victim selection policy name (see repro.policies.preemption).
     preemption_policy: str = "latest-arrived"
+    # Fold steady-state batch ticks into the completing callback's frame
+    # instead of one heap event per iteration.  Exact by construction (see
+    # Instance._drain_inline); the switch exists so regression tests can
+    # compare against the per-event path.
+    coalesce_ticks: bool = True
 
 
 class Lane:
@@ -201,11 +206,16 @@ class Instance:
             self._execute(lane, batch)
 
     def _execute(self, lane: Lane, batch: Batch) -> None:
-        lane.busy = True
-        lane.current_batch = batch
         # ``* 1.0`` is bit-exact: healthy runs are byte-identical to runs
         # without the straggler machinery.
         duration = batch.duration * self.compute_slowdown
+        self._begin_batch(lane, batch, duration)
+        self.sim.schedule(duration, self._complete, lane, batch, self.epoch)
+
+    def _begin_batch(self, lane: Lane, batch: Batch, duration: float) -> None:
+        """Batch-launch bookkeeping shared by the scheduled and inline paths."""
+        lane.busy = True
+        lane.current_batch = batch
         lane.busy_until = self.sim.now + duration
         if batch.timing is not None:
             self.metrics.record_batch(
@@ -224,7 +234,6 @@ class Instance:
             decode_batch=batch.decode_batch_size,
             duration=duration,
         )
-        self.sim.schedule(duration, self._complete, lane, batch, self.epoch)
 
     def _complete(self, lane: Lane, batch: Batch, epoch: Optional[int] = None) -> None:
         if epoch is not None and epoch != self.epoch:
@@ -234,7 +243,59 @@ class Instance:
         if self.halted or self.failed:
             return  # the node died mid-batch; results are lost
         self._on_batch_complete(lane, batch)
+        if self.config.coalesce_ticks:
+            self._drain_inline(lane)
         self.kick()
+
+    def _drain_inline(self, lane: Lane) -> None:
+        """Run this lane's next batches inside the current callback frame.
+
+        Steady-state decode is one completion event per iteration; at scale
+        that dominates the heap.  This loop folds consecutive iterations of
+        a single lane into the completing event, *only* when doing so is
+        provably indistinguishable from scheduling:
+
+        * the instance could immediately start this lane's next batch
+          anyway (not halted/paused, nothing swapped out, every other lane
+          busy — so the ensuing ``kick()`` would reach ``_form_batch`` for
+          exactly this lane with no other side effects), and
+        * no other pending event could fire at or before the batch's
+          completion time, and the run horizon / event budget would not
+          stop the loop first (:meth:`Simulator.can_advance_inline`).
+
+        The clock arithmetic, ``events_processed`` count, trace rows, and
+        metrics calls are exactly those of the scheduled path, so run
+        fingerprints — and the recorded goldens — are byte-identical.
+        When the equivalence check fails after a batch was already formed,
+        the batch is executed through the normal scheduled path
+        (``_form_batch`` has side effects and must not be re-run).
+        """
+        sim = self.sim
+        while True:
+            if self.halted or self.failed or lane.busy:
+                return
+            if sim.now < self.paused_until - 1e-12:
+                return
+            if self.swapped:
+                return  # kick() must run _try_swap_in first
+            for other in self.lanes:
+                if other is not lane and not other.busy:
+                    return  # kick() owes the other idle lanes a scan
+            batch = self._form_batch(lane)
+            if batch is None:
+                return
+            duration = batch.duration * self.compute_slowdown
+            if not sim.can_advance_inline(duration):
+                self._begin_batch(lane, batch, duration)
+                sim.schedule(duration, self._complete, lane, batch, self.epoch)
+                return
+            self._begin_batch(lane, batch, duration)
+            sim.advance_inline(duration)
+            lane.busy = False
+            lane.current_batch = None
+            if self.halted or self.failed:
+                return
+            self._on_batch_complete(lane, batch)
 
     # -- policy hooks (subclasses override) -----------------------------------------
 

@@ -60,9 +60,15 @@ class Phase(enum.Enum):
     SHED = "shed"  # rejected by degraded-mode admission control
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
-    """One inference request and its measured lifecycle."""
+    """One inference request and its measured lifecycle.
+
+    ``eq=False`` keeps object identity semantics (and hashability): requests
+    are unique stateful entities, and the hot decode path does membership
+    tests against lane run queues — field-by-field ``__eq__`` over a dozen
+    mutable attributes was the simulator's single largest cost.
+    """
 
     request_id: int
     prompt_tokens: int

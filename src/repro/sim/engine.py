@@ -4,6 +4,24 @@ The engine is intentionally small: a binary heap of timestamped events, a
 monotonically advancing clock, and cancellable event handles.  Determinism is
 guaranteed by a tie-breaking sequence number, so two events scheduled for the
 same instant always fire in scheduling order regardless of heap internals.
+
+Performance notes (the scale benchmark in :mod:`repro.harness.perfbench`
+drives millions of events through this loop):
+
+* Heap entries are ``(time, seq, event)`` tuples, so ordering comparisons
+  run entirely in C on floats/ints — ``Event.__lt__`` never fires (``seq``
+  is unique, the tuple comparison is decided before the third element).
+* Cancelled events stay in the heap as tombstones (a heap delete is
+  O(n)), but the simulator keeps an exact count of pending tombstones so
+  idle checks are O(1) and the heap is compacted wholesale when tombstones
+  dominate, instead of scanning for them.
+* :meth:`Simulator.advance_inline` lets a callback fold what would have
+  been a chain of schedule→pop→fire cycles into its own stack frame while
+  preserving the observable contract — the clock arithmetic, the
+  ``events_processed`` count, and the ``max_events`` budget are exactly
+  those of the equivalent scheduled event.  See
+  :meth:`Simulator.can_advance_inline` for the (conservative) conditions
+  under which this is indistinguishable from scheduling.
 """
 
 from __future__ import annotations
@@ -26,7 +44,7 @@ class Event:
     is cheaper than a heap delete.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "fired", "_sim")
 
     def __init__(
         self,
@@ -34,7 +52,8 @@ class Event:
         seq: int,
         fn: Callable[..., None],
         args: tuple,
-        kwargs: dict,
+        kwargs: Optional[dict],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -43,10 +62,15 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent; no-op if already fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -74,12 +98,23 @@ class Simulator:
     timestamp order until it is empty or the horizon is reached.
     """
 
+    #: Compact the heap when it holds this many tombstones and they
+    #: outnumber the live events.
+    _COMPACT_MIN_TOMBSTONES = 1024
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        # Heap of (time, seq, Event): comparisons stay on the C fast path
+        # and never reach the Event object because seq is unique.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        # Loop state observed by advance_inline (valid only while _running).
+        self._run_until: Optional[float] = None
+        self._run_max_events: Optional[int] = None
+        self._run_executed = 0
 
     @property
     def now(self) -> float:
@@ -96,6 +131,11 @@ class Simulator:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_events(self) -> int:
+        """Number of schedulable (not cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled_pending
+
     def digest(self) -> dict:
         """Terminal-state summary folded into run fingerprints.
 
@@ -104,6 +144,8 @@ class Simulator:
         :mod:`repro.sim.fingerprint`.
         """
         return {"now": self._now, "events_processed": self._events_processed}
+
+    # -- scheduling ----------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now."""
@@ -117,9 +159,26 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} before current time t={self._now:.6f}"
             )
-        event = Event(time, next(self._seq), fn, args, kwargs)
-        heapq.heappush(self._heap, event)
+        event = Event(time, next(self._seq), fn, args, kwargs or None, self)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self._COMPACT_MIN_TOMBSTONES
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone from the heap in one O(n) rebuild."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+
+    # -- the loop ------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
@@ -132,34 +191,92 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        executed = 0
+        self._run_until = until
+        self._run_max_events = max_events
+        self._run_executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                time, _seq, event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled_pending -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                if max_events is not None and executed >= max_events:
+                if max_events is not None and self._run_executed >= max_events:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                pop(heap)
+                self._now = time
                 event.fired = True
-                event.fn(*event.args, **event.kwargs)
+                if event.kwargs is None:
+                    event.fn(*event.args)
+                else:
+                    event.fn(*event.args, **event.kwargs)
                 self._events_processed += 1
-                executed += 1
+                self._run_executed += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and (
-            not self._heap or self._heap[0].time > until
-        ):
-            self._now = until
+            self._run_until = None
+            self._run_max_events = None
+        if until is not None and self._now < until:
+            while heap and heap[0][2].cancelled:
+                pop(heap)
+                self._cancelled_pending -= 1
+            if not heap or heap[0][0] > until:
+                self._now = until
         return self._now
 
     def run_until_idle(self, max_events: int = 50_000_000) -> float:
         """Run until no events remain.  ``max_events`` guards runaway loops."""
         self.run(max_events=max_events)
-        if any(not e.cancelled for e in self._heap):
+        if self.live_events:
             raise SimulationError(f"event budget of {max_events} exhausted")
         return self._now
+
+    # -- inline advancement --------------------------------------------------
+
+    def can_advance_inline(self, duration: float) -> bool:
+        """Whether a callback may fold a ``schedule(duration, ...)``+fire
+        cycle into its own frame without observable difference.
+
+        Conservative: refuses whenever any other pending event could fire
+        at or before the would-be event time (a scheduled event would carry
+        a *higher* seq than everything already in the heap, so ties must go
+        to the heap), whenever the run horizon or event budget would stop
+        the loop first, and whenever no run loop is active at all.
+        """
+        if not self._running or duration < 0:
+            return False
+        target = self._now + duration
+        until = self._run_until
+        if until is not None and target > until:
+            return False
+        max_events = self._run_max_events
+        # The currently-executing callback has not been added to
+        # _run_executed yet (the loop counts it on return), so the inline
+        # event would be number _run_executed + 2 overall.
+        if max_events is not None and self._run_executed + 1 >= max_events:
+            return False
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        if heap and heap[0][0] <= target:
+            return False
+        return True
+
+    def advance_inline(self, duration: float) -> None:
+        """Advance the clock as if a ``duration``-delayed event just fired.
+
+        Callers must have checked :meth:`can_advance_inline` with the same
+        ``duration`` in the same callback frame.  The clock arithmetic
+        (``now + duration``) is bit-identical to :meth:`schedule` followed
+        by the loop's ``self._now = event.time``, and the fired callback is
+        accounted in ``events_processed`` and against the loop's
+        ``max_events`` budget exactly as a real event would be.
+        """
+        self._now = self._now + duration
+        self._events_processed += 1
+        self._run_executed += 1

@@ -74,14 +74,14 @@ def digest_lines(chunks: Iterable[str]) -> str:
 # -- component digests --------------------------------------------------------
 
 
-def record_row(record: "TraceRecord") -> dict:
+def raw_row(time: float, component: str, tag: str, payload: Mapping) -> dict:
     """Canonical dict form of one trace row (also the golden JSONL schema)."""
-    return {
-        "t": record.time,
-        "c": record.component,
-        "g": record.tag,
-        "p": _canonicalize(record.payload),
-    }
+    return {"t": time, "c": component, "g": tag, "p": _canonicalize(payload)}
+
+
+def record_row(record: "TraceRecord") -> dict:
+    """Canonical dict form of a :class:`TraceRecord`."""
+    return raw_row(record.time, record.component, record.tag, record.payload)
 
 
 def fingerprint_records(records: Iterable["TraceRecord"]) -> str:

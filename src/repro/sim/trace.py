@@ -3,6 +3,14 @@
 Systems emit :class:`TraceRecord` rows (time, component, tag, payload) while
 running; the metrics layer and the tests consume them afterwards.  Recording
 can be disabled wholesale or filtered by tag to keep long runs cheap.
+
+Rows are stored as compact ``(time, component, tag, payload)`` tuples on the
+hot emit path; :class:`TraceRecord` objects are materialised lazily (and
+cached incrementally) only when a consumer asks for them, and the canonical
+dict rendering used by the golden/replay/fingerprint paths is produced
+straight from the tuples.  Pure-benchmark runs use the no-trace fast mode
+(``enabled=False``), which reduces :meth:`TraceLog.emit` to a single
+attribute check.
 """
 
 from __future__ import annotations
@@ -35,7 +43,10 @@ class TraceLog:
     ) -> None:
         self.enabled = enabled
         self.tag_filter = tag_filter
-        self._records: list[TraceRecord] = []
+        # Raw (time, component, tag, payload) tuples, appended in emit order.
+        self._raw: list[tuple[float, str, str, dict[str, Any]]] = []
+        # Lazily-built TraceRecord views of the prefix of _raw seen so far.
+        self._materialized: list[TraceRecord] = []
 
     def emit(self, time: float, component: str, tag: str, **payload: Any) -> None:
         """Record one row (subject to the enabled flag and tag filter)."""
@@ -43,17 +54,27 @@ class TraceLog:
             return
         if self.tag_filter is not None and not self.tag_filter(tag):
             return
-        self._records.append(TraceRecord(time, component, tag, payload))
+        self._raw.append((time, component, tag, payload))
+
+    def _records(self) -> list[TraceRecord]:
+        """Materialise (and cache) TraceRecord views of the raw tuples."""
+        raw = self._raw
+        materialized = self._materialized
+        if len(materialized) != len(raw):
+            materialized.extend(
+                TraceRecord(t, c, g, p) for t, c, g, p in raw[len(materialized):]
+            )
+        return materialized
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._raw)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._records())
 
     @property
     def records(self) -> list[TraceRecord]:
-        return self._records
+        return self._records()
 
     def filter(
         self,
@@ -61,7 +82,7 @@ class TraceLog:
         component: Optional[str] = None,
     ) -> list[TraceRecord]:
         """Rows matching the given tag and/or component."""
-        out: Iterable[TraceRecord] = self._records
+        out: Iterable[TraceRecord] = self._records()
         if tag is not None:
             out = (r for r in out if r.tag == tag)
         if component is not None:
@@ -69,10 +90,11 @@ class TraceLog:
         return list(out)
 
     def count(self, tag: str) -> int:
-        return sum(1 for r in self._records if r.tag == tag)
+        return sum(1 for row in self._raw if row[2] == tag)
 
     def clear(self) -> None:
-        self._records.clear()
+        self._raw.clear()
+        self._materialized.clear()
 
     # -- determinism ---------------------------------------------------------
 
@@ -82,15 +104,15 @@ class TraceLog:
         Two runs of the same scenario with the same seed must produce the
         same fingerprint; see :mod:`repro.sim.fingerprint`.
         """
-        from repro.sim.fingerprint import fingerprint_records
+        from repro.sim.fingerprint import canonical_json, digest_lines, raw_row
 
-        return fingerprint_records(self._records)
+        return digest_lines(canonical_json(raw_row(*row)) for row in self._raw)
 
     def to_rows(self) -> list[dict]:
         """Canonical JSON-ready rows (the golden-trace JSONL schema)."""
-        from repro.sim.fingerprint import record_row
+        from repro.sim.fingerprint import raw_row
 
-        return [record_row(r) for r in self._records]
+        return [raw_row(*row) for row in self._raw]
 
     @staticmethod
     def record_from_row(row: dict) -> TraceRecord:

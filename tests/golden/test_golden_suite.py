@@ -1,0 +1,35 @@
+"""Tier-1 golden-suite check: every recorded scenario, in-process.
+
+Before this suite existed, byte-identity of the golden store was only
+enforced by the separate ``golden check`` CI step; an optimisation that
+perturbed a trace would pass the unit tests and fail a later pipeline
+stage.  Parameterising over :data:`~repro.harness.golden.GOLDEN_MATRIX`
+puts each scenario's diff directly into ``pytest``, one test per scenario,
+with the diff messages as the assertion text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.golden import GOLDEN_MATRIX, check_goldens, golden_path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def test_matrix_matches_recorded_files():
+    """Every matrix entry has a recording and every recording is in the matrix."""
+    recorded = {p.stem for p in GOLDEN_DIR.glob("*.jsonl")}
+    expected = {s.name for s in GOLDEN_MATRIX}
+    assert recorded == expected
+
+
+@pytest.mark.parametrize("scenario", GOLDEN_MATRIX, ids=lambda s: s.name)
+def test_golden_scenario(scenario):
+    assert golden_path(GOLDEN_DIR, scenario.name).exists(), (
+        f"no golden recorded for {scenario.name} — run `python -m repro golden record`"
+    )
+    (diff,) = check_goldens(GOLDEN_DIR, only=[scenario.name])
+    assert diff.passed, "\n".join(diff.messages)

@@ -1,0 +1,169 @@
+"""Property tests for the tuple-heap event queue.
+
+The optimised engine stores ``(time, seq, Event)`` tuples and tracks
+cancelled events by count instead of scanning for tombstones.  Hypothesis
+drives random schedule/cancel interleavings — including exact-tie
+timestamps — and the pop order must match a straight-line reference
+implementation built on nothing but ``heapq`` over ``(time, seq)`` pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+# One scripted action:
+#   ("schedule", delay)    — schedule an event `delay` seconds after *schedule
+#                            time* (several identical delays produce exact ties)
+#   ("cancel", k)          — cancel the k-th scheduled event (mod count), at
+#                            script-interpretation time (before the run)
+#   ("late_cancel", k)     — cancel the k-th event from *inside* the first
+#                            event that fires after the cancel instruction
+DELAYS = st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.5, 7.0])
+ACTIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), DELAYS),
+        st.tuples(st.just("cancel"), st.integers(0, 30)),
+        st.tuples(st.just("late_cancel"), st.integers(0, 30)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class ReferenceQueue:
+    """The obviously-correct model: heapq of (time, seq), tombstone scan."""
+
+    def __init__(self) -> None:
+        self.heap: list[tuple[float, int]] = []
+        self.cancelled: set[int] = set()
+        self.seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float) -> int:
+        seq = self.seq
+        self.seq += 1
+        heapq.heappush(self.heap, (self.now + delay, seq))
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        self.cancelled.add(seq)
+
+    def drain(self, cancel_plan: dict[int, list[int]]) -> list[tuple[float, int]]:
+        """Pop everything live in order; ``cancel_plan[seq]`` lists events to
+        cancel while event ``seq`` fires (models in-callback cancellation)."""
+        fired = []
+        while self.heap:
+            time, seq = heapq.heappop(self.heap)
+            if seq in self.cancelled:
+                continue
+            self.now = time
+            fired.append((time, seq))
+            for victim in cancel_plan.get(seq, ()):  # in-callback cancels
+                self.cancelled.add(victim)
+        return fired
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_pop_order_matches_reference_heapq(actions):
+    sim = Simulator()
+    reference = ReferenceQueue()
+
+    events = []  # index -> engine Event
+    ref_seqs = []  # index -> reference seq
+    fired: list[tuple[float, int]] = []
+    late_cancels: dict[int, list[int]] = {}  # fire-seq -> [victim indices]
+    pending_late: list[int] = []
+
+    def on_fire(index):
+        fired.append((sim.now, index))
+        for victim in late_cancels.get(index, ()):  # cancel mid-callback
+            events[victim].cancel()
+
+    for action, value in actions:
+        if action == "schedule":
+            index = len(events)
+            events.append(sim.schedule(value, on_fire, index))
+            ref_seqs.append(reference.schedule(value))
+            # Attach any late-cancel requests seen so far to this event.
+            if pending_late:
+                late_cancels[index] = list(pending_late)
+                pending_late.clear()
+        elif action == "cancel" and events:
+            index = value % len(events)
+            events[index].cancel()
+            reference.cancel(ref_seqs[index])
+        elif action == "late_cancel" and events:
+            pending_late.append(value % len(events))
+
+    ref_plan = {
+        ref_seqs[fire_index]: [ref_seqs[v] for v in victims]
+        for fire_index, victims in late_cancels.items()
+    }
+    expected = reference.drain(ref_plan)
+    sim.run_until_idle()
+
+    assert [(t, ref_seqs[i]) for t, i in fired] == expected
+    assert sim.live_events == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(ACTIONS, st.floats(0.0, 8.0))
+def test_horizon_run_matches_reference(actions, until):
+    """run(until=...) fires exactly the reference prefix with time <= until."""
+    sim = Simulator()
+    reference = ReferenceQueue()
+    events, ref_seqs, fired = [], [], []
+
+    def on_fire(index):
+        fired.append((sim.now, index))
+
+    for action, value in actions:
+        if action == "schedule":
+            index = len(events)
+            events.append(sim.schedule(value, on_fire, index))
+            ref_seqs.append(reference.schedule(value))
+        elif events:  # treat both cancel flavours as immediate cancels here
+            index = value % len(events)
+            events[index].cancel()
+            reference.cancel(ref_seqs[index])
+
+    expected = [(t, s) for t, s in reference.drain({}) if t <= until]
+    sim.run(until=until)
+    assert [(t, ref_seqs[i]) for t, i in fired] == expected
+    assert sim.now >= min(until, sim.now)  # clock advanced to the horizon
+
+
+def test_cancellation_count_and_compaction():
+    """Mass cancellation triggers compaction without disturbing live order."""
+    sim = Simulator()
+    fired = []
+    live = [sim.schedule(10.0 + i, fired.append, i) for i in range(10)]
+    doomed = [sim.schedule(5.0, lambda: fired.append("doomed")) for _ in range(5000)]
+    for event in doomed:
+        event.cancel()
+        event.cancel()  # idempotent: must not double-count
+    assert sim.live_events == len(live)
+    # Compaction kicked in once tombstones dominated the heap.
+    assert sim.pending_events < 5010
+    sim.run_until_idle()
+    assert fired == list(range(10))
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.run_until_idle()
+    event.cancel()  # must not corrupt the tombstone count
+    assert fired == ["x"]
+    assert sim.live_events == 0
+    sim.schedule(1.0, fired.append, "y")
+    assert sim.live_events == 1
+    sim.run_until_idle()
+    assert fired == ["x", "y"]
