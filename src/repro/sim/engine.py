@@ -173,8 +173,15 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop every tombstone from the heap in one O(n) rebuild."""
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        """Drop every tombstone from the heap in one O(n) rebuild.
+
+        Mutates the list in place (slice assignment) rather than rebinding
+        ``self._heap``: :meth:`run` holds a local alias to the heap while
+        looping, and an in-callback cancellation may trigger compaction
+        mid-run.  Rebinding would leave the loop draining a stale list while
+        new events land in the replacement and never fire.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
 

@@ -68,10 +68,12 @@ class ReferenceQueue:
         return fired
 
 
-@settings(max_examples=200, deadline=None)
-@given(ACTIONS)
-def test_pop_order_matches_reference_heapq(actions):
+def _check_pop_order_matches_reference(actions, compact_min_tombstones=None):
     sim = Simulator()
+    if compact_min_tombstones is not None:
+        # Instance attribute shadows the class constant: compaction now
+        # triggers inside these short scripts, exercising the mid-run path.
+        sim._COMPACT_MIN_TOMBSTONES = compact_min_tombstones
     reference = ReferenceQueue()
 
     events = []  # index -> engine Event
@@ -110,6 +112,21 @@ def test_pop_order_matches_reference_heapq(actions):
 
     assert [(t, ref_seqs[i]) for t, i in fired] == expected
     assert sim.live_events == 0
+    assert sim._cancelled_pending >= 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_pop_order_matches_reference_heapq(actions):
+    _check_pop_order_matches_reference(actions)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ACTIONS)
+def test_pop_order_matches_reference_with_mid_run_compaction(actions):
+    """Same contract with the compaction threshold low enough that in-callback
+    cancellations routinely compact the heap while run() is draining it."""
+    _check_pop_order_matches_reference(actions, compact_min_tombstones=2)
 
 
 @settings(max_examples=100, deadline=None)
@@ -136,7 +153,9 @@ def test_horizon_run_matches_reference(actions, until):
     expected = [(t, s) for t, s in reference.drain({}) if t <= until]
     sim.run(until=until)
     assert [(t, ref_seqs[i]) for t, i in fired] == expected
-    assert sim.now >= min(until, sim.now)  # clock advanced to the horizon
+    # Every fired event has time <= until, so run(until) must land the clock
+    # exactly on the horizon for repeated run() calls to compose.
+    assert sim.now == until
 
 
 def test_cancellation_count_and_compaction():
@@ -153,6 +172,32 @@ def test_cancellation_count_and_compaction():
     assert sim.pending_events < 5010
     sim.run_until_idle()
     assert fired == list(range(10))
+
+
+def test_mass_cancel_inside_callback_compacts_without_stranding_events():
+    """Regression: _compact() used to rebind self._heap to a fresh list while
+    run() kept draining a cached alias of the old one — tombstones were
+    re-popped (driving the cancelled count negative) and anything scheduled
+    after the compaction landed in the new list and never fired."""
+    sim = Simulator()
+    sim._COMPACT_MIN_TOMBSTONES = 8
+    fired = []
+    doomed = [sim.schedule(5.0, fired.append, ("doomed", i)) for i in range(64)]
+
+    def killer():
+        fired.append("killer")
+        for event in doomed:
+            event.cancel()  # crosses the compaction threshold mid-run
+        # Scheduled *after* compaction: must land in the heap run() drains.
+        sim.schedule(1.0, fired.append, "late")
+
+    sim.schedule(1.0, killer)
+    sim.schedule(10.0, fired.append, "survivor")
+    sim.run_until_idle()
+    assert fired == ["killer", "late", "survivor"]
+    assert sim.live_events == 0
+    assert sim.pending_events == 0
+    assert sim._cancelled_pending == 0
 
 
 def test_cancel_after_fire_is_noop():
