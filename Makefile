@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record differential chaos policies clean
+.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record differential chaos policies prefix clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,12 @@ chaos:
 policies:
 	python -m repro chaos --fleet --smoke --router tier-aware --tier-mix interactive=0.25,standard=0.5,best_effort=0.25
 	python -m repro chaos --smoke --admission preemptive --tier-mix interactive=0.5,standard=0.2,best_effort=0.3
+
+# Prefix caching: affinity-vs-blind routing comparison on a shared-prefix
+# workload (see docs/prefix-caching.md).  Exits non-zero unless affinity
+# wins and every KV/conservation check passes.
+prefix:
+	python -m repro prefix --smoke --out prefix_smoke.json
 
 # Scale benchmark: records the next BENCH_<n>.json perf-trajectory point
 # (see docs/performance.md).  bench-smoke is the seconds-scale CI variant.

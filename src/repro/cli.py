@@ -12,6 +12,7 @@ Python::
     python -m repro differential --seeds 0,1,2
     python -m repro chaos --plans decode-crash,link-degrade
     python -m repro chaos --smoke
+    python -m repro prefix --smoke
     python -m repro models
     python -m repro datasets
 """
@@ -56,6 +57,7 @@ def _spec_from_args(args: argparse.Namespace, system: str, rate: float) -> Exper
         arrival_process=args.arrivals,
         burstiness_cv=args.burstiness,
         tier_mix=args.tier_mix,
+        prefix_mix=args.prefix_mix,
     )
 
 
@@ -139,6 +141,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
     from repro.models.registry import get_model
     from repro.workloads.arrivals import TierMix
     from repro.workloads.datasets import get_dataset
+    from repro.workloads.prefixes import PrefixMix
     from repro.workloads.trace import generate_trace
 
     spec = _spec_from_args(args, args.system, args.rate)
@@ -157,6 +160,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
+        prefix_mix=PrefixMix.parse(spec.prefix_mix) if spec.prefix_mix else None,
     )
     metrics = system.run_to_completion(trace)
     rows = breakdown_rows(metrics.completed, label=spec.system)
@@ -234,13 +238,27 @@ def _validate_tier_mix(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _validate_prefix_mix(args: argparse.Namespace) -> Optional[str]:
+    """Parse-check ``--prefix-mix`` up front; returns an error message or None."""
+    if not getattr(args, "prefix_mix", None):
+        return None
+    from repro.workloads.prefixes import PrefixMix
+
+    try:
+        PrefixMix.parse(args.prefix_mix)
+    except ValueError as exc:
+        return f"error: bad --prefix-mix: {exc}"
+    return None
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PLAN_NAMES
     from repro.harness.chaos import run_chaos_matrix
 
-    if (mix_error := _validate_tier_mix(args)) is not None:
-        print(mix_error, file=sys.stderr)
-        return 2
+    for mix_error in (_validate_tier_mix(args), _validate_prefix_mix(args)):
+        if mix_error is not None:
+            print(mix_error, file=sys.stderr)
+            return 2
     if args.fleet:
         return _cmd_chaos_fleet(args)
     systems, plans = args.systems, args.plans
@@ -269,6 +287,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         arrival_process=args.arrivals,
         burstiness_cv=args.burstiness,
         tier_mix=args.tier_mix,
+        prefix_mix=args.prefix_mix,
         admission_policy=args.admission,
     )
     rows = [r.row() for r in results]
@@ -338,6 +357,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
         span_nodes=args.span_nodes,
         standby=standby,
         tier_mix=args.tier_mix,
+        prefix_mix=args.prefix_mix,
         admission_policy=args.admission,
     )
     if args.json:
@@ -364,6 +384,58 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     if failed:
         return 1
     print(f"\nall {len(results)} fleet chaos run(s) satisfied the resilience invariants")
+    return 0
+
+
+def cmd_prefix(args: argparse.Namespace) -> int:
+    from repro.harness.prefix_compare import PrefixComparisonSpec, run_prefix_comparison
+
+    if (mix_error := _validate_prefix_mix(args)) is not None:
+        print(mix_error, file=sys.stderr)
+        return 2
+    kwargs = dict(
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        num_nodes=args.nodes,
+        pairs_per_node=args.pairs_per_node,
+        prefix_cache_tokens=args.cache_tokens,
+    )
+    if args.prefix_mix:
+        kwargs["prefix_mix"] = args.prefix_mix
+    if args.smoke:
+        # One fast deterministic comparison cell for CI.
+        kwargs["num_requests"] = min(args.requests, 160)
+    report = run_prefix_comparison(PrefixComparisonSpec(**kwargs))
+    payload = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [run.as_dict() for run in report.runs.values()]
+        for row in rows:
+            row.pop("violations", None)
+            row["fingerprint"] = row["fingerprint"][:12]
+        print(format_table(rows, precision=4))
+    for name, run in report.runs.items():
+        for violation in run.violations:
+            print(f"[VIOLATED] {name}: {violation}", file=sys.stderr)
+    if not report.passed:
+        return 1
+    if not report.affinity_beats_blind:
+        print(
+            "prefix-affinity did NOT beat least-loaded on mean TTFT + prefill work",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "\nprefix-affinity beats least-loaded on mean TTFT and total prefill "
+        "tokens; all KV and conservation checks passed"
+    )
     return 0
 
 
@@ -453,6 +525,14 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         metavar="SPEC",
         help="SLO-tier mix, e.g. 'interactive=0.2,standard=0.5,best_effort=0.3' "
         "(default: all requests in the standard tier)",
+    )
+    parser.add_argument(
+        "--prefix-mix",
+        default=None,
+        metavar="SPEC",
+        help="shared-prefix population, e.g. "
+        "'none=0.25,assistant=0.5:384,fewshot=0.25:640' (name=weight:tokens; "
+        "default: no shared prefixes)",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
@@ -592,6 +672,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(chaos_p)
     # Chaos checks invariants, not percentiles; keep runs quick.
     chaos_p.set_defaults(func=cmd_chaos, requests=120)
+
+    prefix_p = sub.add_parser(
+        "prefix",
+        help="compare prefix-affinity vs locality-blind routing on a "
+        "shared-prefix workload",
+    )
+    prefix_p.add_argument("--rate", type=float, default=3.0, help="per-GPU req/s")
+    prefix_p.add_argument("--requests", type=int, default=240)
+    prefix_p.add_argument("--seed", type=int, default=0)
+    prefix_p.add_argument("--model", default="opt-13b", choices=sorted(MODEL_REGISTRY))
+    prefix_p.add_argument(
+        "--dataset", default="sharegpt", choices=sorted(DATASET_REGISTRY)
+    )
+    prefix_p.add_argument("--nodes", type=int, default=2, help="fleet cluster nodes")
+    prefix_p.add_argument("--pairs-per-node", type=int, default=2)
+    prefix_p.add_argument(
+        "--cache-tokens",
+        type=int,
+        default=2048,
+        help="warm-prefix KV budget per prefill instance (tokens)",
+    )
+    prefix_p.add_argument(
+        "--prefix-mix",
+        default=None,
+        metavar="SPEC",
+        help="shared-prefix population (default: 8 x 512-token prefixes, 20%% none)",
+    )
+    prefix_p.add_argument(
+        "--smoke", action="store_true", help="fast deterministic CI cell"
+    )
+    prefix_p.add_argument("--out", default=None, help="write the JSON report here")
+    prefix_p.add_argument("--json", action="store_true")
+    prefix_p.set_defaults(func=cmd_prefix)
 
     bench_p = sub.add_parser(
         "bench",

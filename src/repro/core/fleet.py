@@ -345,7 +345,7 @@ class ServingFleet:
         """
         digest = self.sim.digest()
         return fingerprint_run(
-            self.trace.records,
+            self.trace,
             self.merged_metrics().completed,
             rng_registry=rng_registry,
             events_processed=digest["events_processed"],

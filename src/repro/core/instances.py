@@ -44,10 +44,15 @@ class WindServePrefillInstance(Instance):
     # -- batch formation ----------------------------------------------------
 
     def _ensure_kv(self, tokens: int) -> bool:
-        """Free backup space if needed to fit a new prompt's KV."""
+        """Free backup space (then unreferenced warm prefixes) if needed to
+        fit a new prompt's KV — live traffic always beats the caches."""
         if self.kv.can_allocate(tokens):
             return True
         self._system.evict_backups(tokens)
+        if self.kv.can_allocate(tokens):
+            return True
+        if self.prefix_cache is not None:
+            self.prefix_cache.evict_unreferenced(tokens)
         return self.kv.can_allocate(tokens)
 
     def _form_batch(self, lane: Lane) -> Optional[Batch]:
@@ -78,6 +83,9 @@ class WindServePrefillInstance(Instance):
 
         while budget > 0 and self.waiting:
             request = self.waiting[0]
+            # Warm shared prefix?  Preset prefilled_tokens so only the
+            # uncached suffix is scheduled (shortened-prefill path).
+            self._apply_prefix_hit(request)
             chunk = min(budget, request.remaining_prefill_tokens)
             if not self._ensure_kv(chunk):
                 break
@@ -94,6 +102,11 @@ class WindServePrefillInstance(Instance):
 
         if not plan and not decode_requests:
             return None
+        if chunk_tokens:
+            # Audit counter (not fingerprinted): actual prefill work done,
+            # net of prefix-cache skips — the differential harness compares
+            # this across routing policies.
+            self.metrics.bump("prefill_tokens_computed", chunk_tokens)
 
         # Launch overlapped KV transfers for prompts completing in this pass.
         transfer_launched = False
@@ -140,6 +153,7 @@ class WindServePrefillInstance(Instance):
             request.prefilled_tokens += chunk
             if request.prefill_done:
                 self.prefilling.remove(request)
+                self._settle_prefix(request)
                 if request.output_generated:
                     # Crash-recovery re-prefill over the full context: the
                     # request already emitted tokens, so resume decoding
@@ -198,6 +212,7 @@ class WindServeDecodeInstance(Instance):
             timing = self.latency.hybrid(
                 assist_request.prompt_tokens, len(lane.running), sum_context
             )
+            self.metrics.bump("prefill_tokens_computed", assist_request.prompt_tokens)
             return Batch(
                 "hybrid",
                 timing.duration,

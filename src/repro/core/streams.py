@@ -102,6 +102,7 @@ class AssistStream:
             inst.name, duration, iso.compute_time, iso.io_time, lanes=len(inst.lanes)
         )
         inst.metrics.bump("assist_prefill")
+        inst.metrics.bump("prefill_tokens_computed", request.prompt_tokens)
         inst.trace.emit(
             inst.sim.now,
             inst.name,

@@ -41,6 +41,7 @@ from repro.serving.request import TIERS, Phase, Request
 from repro.serving.system import ServingSystem
 from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
+from repro.workloads.prefixes import PrefixMix
 from repro.workloads.trace import generate_trace
 
 DEFAULT_CHAOS_SYSTEMS = ("windserve", "distserve", "vllm")
@@ -64,12 +65,17 @@ class ChaosSpec:
     # SLO-tier mix spec ("interactive=0.2,standard=0.5,best_effort=0.3");
     # None keeps the workload tier-free (byte-identical to pre-tier runs).
     tier_mix: Optional[str] = None
+    # Shared-prefix population spec; None keeps the workload prefix-free.
+    prefix_mix: Optional[str] = None
     resilience: Optional[ResilienceConfig] = None
     # Degraded-mode admission policy (see repro.policies.admission).
     admission_policy: str = "nested-caps"
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
+
+    def parsed_prefix_mix(self) -> Optional[PrefixMix]:
+        return PrefixMix.parse(self.prefix_mix) if self.prefix_mix else None
 
     def experiment(self) -> ExperimentSpec:
         return ExperimentSpec(
@@ -82,6 +88,7 @@ class ChaosSpec:
             arrival_process=self.arrival_process,
             burstiness_cv=self.burstiness_cv,
             tier_mix=self.tier_mix,
+            prefix_mix=self.prefix_mix,
             resilience=self.resilience,
             admission_policy=self.admission_policy,
         )
@@ -199,9 +206,17 @@ def chaos_tier_report(metrics: MetricsCollector, base_slo) -> dict:
 
 
 def chaos_kv_lifecycle(system: ServingSystem) -> list[str]:
-    """KV freed exactly once, including the pools retired by crashes."""
+    """KV freed exactly once, including the pools retired by crashes.
+
+    A still-warm prefix cache is deliberate residency, not a leak: its
+    blocks are released here (idempotently) as part of the audit's notion
+    of full teardown before the freed-exactly-once check runs.
+    """
     problems = []
     for instance in system.instances:
+        cache = getattr(instance, "prefix_cache", None)
+        if cache is not None:
+            cache.drain()
         managers = [(instance.kv, "kv")] + [
             (kv, f"retired-kv#{i}") for i, kv in enumerate(instance.retired_kv)
         ]
@@ -290,6 +305,7 @@ def run_chaos(
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
+        prefix_mix=spec.parsed_prefix_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)
@@ -376,12 +392,19 @@ class FleetChaosSpec:
     check_interval: float = 0.5
     # SLO-tier mix spec; None keeps the workload tier-free.
     tier_mix: Optional[str] = None
+    # Shared-prefix population spec; None keeps the workload prefix-free.
+    prefix_mix: Optional[str] = None
+    # Per-instance warm-prefix KV budget (tokens); 0 disables the cache.
+    prefix_cache_tokens: int = 0
     resilience: Optional[ResilienceConfig] = None
     # Degraded-mode admission policy applied to every member.
     admission_policy: str = "nested-caps"
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
+
+    def parsed_prefix_mix(self) -> Optional[PrefixMix]:
+        return PrefixMix.parse(self.prefix_mix) if self.prefix_mix else None
 
 
 @dataclass
@@ -437,11 +460,13 @@ def build_chaos_fleet(spec: FleetChaosSpec):
     from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
     from repro.core.fleet import build_windserve_fleet
     from repro.hardware.cluster import ClusterTopology
+    from repro.serving.instance import InstanceConfig
     from repro.serving.system import SystemConfig
 
     cluster = ClusterTopology(num_nodes=spec.num_nodes, gpus_per_node=8)
     config = SystemConfig(
         model=get_model(spec.model),
+        instance=InstanceConfig(prefix_cache_tokens=spec.prefix_cache_tokens),
         resilience=spec.resilience or ResilienceConfig(),
         admission_policy=spec.admission_policy,
     )
@@ -521,6 +546,7 @@ def run_fleet_chaos(spec: FleetChaosSpec) -> FleetChaosResult:
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
+        prefix_mix=spec.parsed_prefix_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)

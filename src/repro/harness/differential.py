@@ -116,6 +116,9 @@ def workload_rows(trace: Trace) -> list[dict]:
         }
         if r.tier != DEFAULT_TIER:
             row["tier"] = r.tier
+        if r.prefix_len:
+            row["prefix_hash"] = r.prefix_hash
+            row["prefix_len"] = r.prefix_len
         rows.append(row)
     return rows
 
@@ -129,6 +132,8 @@ def clone_requests(rows: Sequence[dict]) -> list[Request]:
             output_tokens=row["output"],
             arrival_time=row["arrival"],
             tier=row.get("tier", DEFAULT_TIER),
+            prefix_hash=row.get("prefix_hash", 0),
+            prefix_len=row.get("prefix_len", 0),
         )
         for row in rows
     ]
@@ -212,9 +217,16 @@ def check_monotonic_times(completed: Sequence[Request]) -> list[str]:
 
 
 def check_kv_lifecycle(system) -> list[str]:
-    """Every KV allocation is matched by exactly one free, per manager."""
+    """Every KV allocation is matched by exactly one free, per manager.
+
+    A still-warm prefix cache is drained first (idempotently): deliberate
+    warm residency is not a leak, but its blocks must still balance.
+    """
     problems = []
     for instance in system.instances:
+        cache = getattr(instance, "prefix_cache", None)
+        if cache is not None:
+            cache.drain()
         kv = instance.kv
         unbalanced = {
             rid: (kv.alloc_events[rid], kv.free_events[rid])

@@ -31,6 +31,7 @@ from repro.sim.fingerprint import (
 )
 from repro.sim.trace import TraceLog
 from repro.workloads.datasets import get_dataset
+from repro.workloads.prefixes import PrefixMix
 from repro.workloads.trace import generate_trace
 
 #: Default location of the golden store, relative to the repo root.
@@ -68,6 +69,9 @@ GOLDEN_TAGS = frozenset(
         "member-replace",
         # Preemptive-displacement decisions (admission_policy="preemptive").
         "preempt-displace",
+        # Automatic prefix caching: shortened prefills + cache publications.
+        "prefix-hit",
+        "prefix-insert",
     }
 )
 
@@ -106,12 +110,18 @@ class GoldenScenario:
     # Scheduling-policy cells: non-default router/admission choices.
     fleet_policy: str = "round-robin"
     admission_policy: str = "nested-caps"
+    # Prefix-caching cells: a shared-prefix workload plus a per-instance
+    # warm-prefix KV budget (0 keeps the cache off, the default behaviour).
+    prefix_mix: Optional[str] = None
+    prefix_cache_tokens: int = 0
 
     def spec(self) -> ExperimentSpec:
-        instance = InstanceConfig()
+        instance = InstanceConfig(prefix_cache_tokens=self.prefix_cache_tokens)
         if self.kv_override_tokens is not None:
             instance = InstanceConfig(
-                kv_capacity_override_tokens=self.kv_override_tokens, cpu_swap_gb=16.0
+                kv_capacity_override_tokens=self.kv_override_tokens,
+                cpu_swap_gb=16.0,
+                prefix_cache_tokens=self.prefix_cache_tokens,
             )
         resilience = None
         if self.shed_limit is not None:
@@ -128,6 +138,7 @@ class GoldenScenario:
             instance_config=instance,
             decode_parallel=self.decode_parallel,
             tier_mix=self.tier_mix,
+            prefix_mix=self.prefix_mix,
             resilience=resilience,
             admission_policy=self.admission_policy,
         )
@@ -164,6 +175,10 @@ class GoldenScenario:
             meta["fleet_policy"] = self.fleet_policy
         if self.admission_policy != "nested-caps":
             meta["admission_policy"] = self.admission_policy
+        if self.prefix_mix is not None:
+            meta["prefix_mix"] = self.prefix_mix
+        if self.prefix_cache_tokens:
+            meta["prefix_cache_tokens"] = self.prefix_cache_tokens
         return meta
 
 
@@ -325,6 +340,21 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             tier_mix="interactive=0.25,standard=0.5,best_effort=0.25",
         )
     )
+    # Prefix-caching cell: a shared-prefix workload against a WindServe
+    # system with the warm-prefix index on — pins the shortened-prefill
+    # (prefix-hit) and cache-publication (prefix-insert) decisions, the
+    # prefix-carrying request rows, and the prefix RNG stream.
+    cells.append(
+        GoldenScenario(
+            name="windserve-prefix-s13",
+            system="windserve",
+            rate_per_gpu=3.0,
+            seed=13,
+            num_requests=40,
+            prefix_mix="none=0.25,assistant=0.5:384,fewshot=0.25:640",
+            prefix_cache_tokens=4096,
+        )
+    )
     return tuple(cells)
 
 
@@ -363,6 +393,8 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         span_nodes=scenario.fleet_span_nodes,
         standby=scenario.fleet_standby,
         tier_mix=scenario.tier_mix,
+        prefix_mix=scenario.prefix_mix,
+        prefix_cache_tokens=scenario.prefix_cache_tokens,
         admission_policy=scenario.admission_policy,
     )
     fleet = build_chaos_fleet(spec)
@@ -382,6 +414,7 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
+        prefix_mix=spec.parsed_prefix_mix(),
     )
     horizon = max(r.arrival_time for r in workload)
     plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
@@ -420,6 +453,9 @@ def run_scenario(scenario: GoldenScenario) -> GoldenRun:
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=TierMix.parse(scenario.tier_mix) if scenario.tier_mix else None,
+        prefix_mix=(
+            PrefixMix.parse(scenario.prefix_mix) if scenario.prefix_mix else None
+        ),
     )
     if scenario.fault_plan is not None:
         from repro.faults import FaultInjector, build_fault_plan

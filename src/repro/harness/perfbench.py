@@ -92,6 +92,10 @@ class BenchPhase:
     fault_plan: str = "decode-crash"
     fleet_nodes: int = 2
     fleet_pairs_per_node: int = 2
+    # Shared-prefix phases: a prefix population plus a per-instance
+    # warm-prefix KV budget (None/0 keeps the workload prefix-free).
+    prefix_mix: Optional[str] = None
+    prefix_cache_tokens: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,9 +121,9 @@ def standard_phases(num_requests: int) -> tuple[BenchPhase, ...]:
     """The default single/fleet/chaos phase mix for ``num_requests``.
 
     The single-instance phase carries the full request count (it is the
-    raw-speed headline); the fleet and chaos phases run smaller slices so
-    the whole bench stays bounded while still exercising the heartbeat,
-    routing, and recovery machinery at scale.
+    raw-speed headline); the fleet, chaos, and shared-prefix phases run
+    smaller slices so the whole bench stays bounded while still exercising
+    the heartbeat, routing, recovery, and prefix-cache machinery at scale.
     """
 
     return (
@@ -127,6 +131,13 @@ def standard_phases(num_requests: int) -> tuple[BenchPhase, ...]:
         BenchPhase("fleet-2x2", "fleet", max(1, num_requests // 5)),
         BenchPhase(
             "chaos-decode-crash", "chaos", max(1, num_requests // 10), rate_per_gpu=3.0
+        ),
+        BenchPhase(
+            "prefix-cached",
+            "single",
+            max(1, num_requests // 5),
+            prefix_mix="none=0.25,assistant=0.5:384,fewshot=0.25:640",
+            prefix_cache_tokens=4096,
         ),
     )
 
@@ -147,6 +158,9 @@ def _peak_rss_bytes() -> int:
 
 
 def _run_single(spec: BenchSpec, phase: BenchPhase, chaos: bool) -> dict:
+    from repro.serving.instance import InstanceConfig
+    from repro.workloads.prefixes import PrefixMix
+
     exp = ExperimentSpec(
         system=phase.system,
         model=spec.model,
@@ -156,6 +170,8 @@ def _run_single(spec: BenchSpec, phase: BenchPhase, chaos: bool) -> dict:
         seed=spec.seed,
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        instance_config=InstanceConfig(prefix_cache_tokens=phase.prefix_cache_tokens),
+        prefix_mix=phase.prefix_mix,
     )
     system = build_system(exp, resolve_slo(exp))
     t0 = time.perf_counter()
@@ -167,6 +183,7 @@ def _run_single(spec: BenchSpec, phase: BenchPhase, chaos: bool) -> dict:
         model=get_model(spec.model),
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
+        prefix_mix=PrefixMix.parse(phase.prefix_mix) if phase.prefix_mix else None,
     )
     gen_wall = time.perf_counter() - t0
     if chaos:

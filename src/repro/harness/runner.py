@@ -27,6 +27,7 @@ from repro.serving.system import ServingSystem, SystemConfig
 from repro.harness.slo import derive_slo
 from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
+from repro.workloads.prefixes import PrefixMix
 from repro.workloads.trace import generate_trace
 
 SYSTEM_NAMES = (
@@ -61,6 +62,8 @@ class ExperimentSpec:
     burstiness_cv: float = 2.0
     resilience: Optional[ResilienceConfig] = None  # None -> defaults
     tier_mix: Optional[str] = None  # e.g. "interactive=0.2,standard=0.5,best_effort=0.3"
+    # Shared-prefix population, e.g. "none=0.25,assistant=0.5:384,fewshot=0.25:640"
+    prefix_mix: Optional[str] = None
     admission_policy: str = "nested-caps"  # see repro.policies.admission
 
     @property
@@ -168,6 +171,7 @@ def run_experiment(spec: ExperimentSpec, warmup_fraction: float = 0.05) -> Exper
         arrival_process=spec.arrival_process,
         burstiness_cv=spec.burstiness_cv,
         tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
+        prefix_mix=PrefixMix.parse(spec.prefix_mix) if spec.prefix_mix else None,
     )
     metrics = system.run_to_completion(trace)
 

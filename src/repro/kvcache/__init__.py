@@ -1,12 +1,15 @@
 """Paged KV-cache management: block manager, CPU swap pool, transfer engine."""
 
 from repro.kvcache.blocks import BlockLocation, KVAllocation, KVBlockManager
+from repro.kvcache.prefix import PrefixCacheIndex, PrefixCacheStats
 from repro.kvcache.transfer import KVTransferEngine, TransferJob
 
 __all__ = [
     "BlockLocation",
     "KVAllocation",
     "KVBlockManager",
+    "PrefixCacheIndex",
+    "PrefixCacheStats",
     "KVTransferEngine",
     "TransferJob",
 ]

@@ -148,3 +148,68 @@ class TierAwareRouting(RoutingPolicy):
         if request.tier == "best_effort":
             return max(candidates, key=lambda i: self.weighted_load(fleet.members[i]))
         return min(candidates, key=lambda i: self.weighted_load(fleet.members[i]))
+
+
+@ROUTING_POLICIES.register("prefix-affinity")
+class PrefixAffinityRouting(RoutingPolicy):
+    """KV-locality-aware routing (ROADMAP: prefix caching + affinity).
+
+    The router keeps a per-member LRU estimate of which shared prefixes are
+    warm there — the same shape as llmserve's prefix-awareness estimator.
+    A request carrying a ``prefix_hash`` joins the least-loaded member
+    believed to hold that prefix warm; with no warm member (or no shared
+    prefix at all) it falls back to plain least-loaded, and the chosen
+    member is optimistically marked warm — it is about to compute and
+    publish the prefix.  ``observe_completion`` refreshes the estimate from
+    ground truth; ``observe_failure`` forgets a crashed member's whole warm
+    set (its KV pool, cache included, died with it).
+
+    Pure estimator state: the router never inspects member caches, so it
+    composes with any member type — and its predictions degrade gracefully
+    to least-loaded when caching is disabled member-side.
+    """
+
+    name = "prefix-affinity"
+
+    #: Distinct prefixes remembered per member before LRU forgetting.
+    WARM_CAPACITY = 256
+
+    def __init__(self) -> None:
+        # member index -> ordered set of prefix hashes, LRU first.
+        self._warm: dict[int, dict[int, None]] = {}
+
+    def warm_prefixes(self, index: int) -> tuple[int, ...]:
+        """The prefix hashes currently believed warm on member ``index``."""
+        return tuple(self._warm.get(index, ()))
+
+    def _touch(self, index: int, prefix_hash: int) -> None:
+        warm = self._warm.setdefault(index, {})
+        warm.pop(prefix_hash, None)
+        warm[prefix_hash] = None
+        while len(warm) > self.WARM_CAPACITY:
+            del warm[next(iter(warm))]
+
+    def select(
+        self, fleet: "ServingFleet", candidates: Sequence[int], request: Request
+    ) -> int:
+        prefix_hash = request.prefix_hash
+        if prefix_hash:
+            warm = [i for i in candidates if prefix_hash in self._warm.get(i, ())]
+            if warm:
+                choice = min(warm, key=lambda i: member_load(fleet.members[i]))
+                self._touch(choice, prefix_hash)
+                return choice
+        choice = min(candidates, key=lambda i: member_load(fleet.members[i]))
+        if prefix_hash:
+            self._touch(choice, prefix_hash)
+        return choice
+
+    def observe_completion(
+        self, fleet: "ServingFleet", index: int, request: Request
+    ) -> None:
+        if request.prefix_hash:
+            self._touch(index, request.prefix_hash)
+
+    def observe_failure(self, fleet: "ServingFleet", index: int) -> None:
+        # The crashed member's KV pool — warm prefixes included — is gone.
+        self._warm.pop(index, None)

@@ -52,6 +52,10 @@ class InstanceConfig:
     kv_capacity_override_tokens: Optional[int] = None
     # Swap-victim selection policy name (see repro.policies.preemption).
     preemption_policy: str = "latest-arrived"
+    # Automatic prefix caching (repro.kvcache.prefix): tokens of warm
+    # shared-prefix KV this instance may keep resident.  0 (the default)
+    # disables the cache entirely, keeping prefix-free runs byte-identical.
+    prefix_cache_tokens: int = 0
     # Fold steady-state batch ticks into the completing callback's frame
     # instead of one heap event per iteration.  Exact by construction (see
     # Instance._drain_inline); the switch exists so regression tests can
@@ -122,6 +126,7 @@ class Instance:
             block_size=config.block_size,
             bytes_per_token=spec.kv_bytes_per_token,
         )
+        self.prefix_cache = self._build_prefix_cache()
         self.lanes = [Lane(i) for i in range(parallel.pp)]
         self.waiting: deque[Request] = deque()
         self.swapped: list[Request] = []
@@ -139,6 +144,13 @@ class Instance:
         self.retired_kv: list[KVBlockManager] = []
 
     # -- construction helpers ----------------------------------------------
+
+    def _build_prefix_cache(self):
+        if self.config.prefix_cache_tokens <= 0:
+            return None
+        from repro.kvcache.prefix import PrefixCacheIndex
+
+        return PrefixCacheIndex(self.kv, self.config.prefix_cache_tokens)
 
     def _kv_capacity_tokens(self) -> int:
         if self.config.kv_capacity_override_tokens is not None:
@@ -446,6 +458,74 @@ class Instance:
         self.trace.emit(self.sim.now, self.name, "swap-in", request_id=request.request_id)
         self.kick()
 
+    # -- automatic prefix caching ------------------------------------------------
+
+    def _apply_prefix_hit(self, request: Request) -> int:
+        """Try to serve ``request``'s shared prefix from the warm cache.
+
+        On a hit the request's ``prefilled_tokens`` is preset (the same
+        shortened-prefill mechanism §3.3 backup re-prefill uses) so the
+        batch former only schedules the uncached suffix.  At most one
+        attempt per (request, instance): the grant is memoised in
+        ``request.extra`` and a reference is held on the cache entry until
+        :meth:`_settle_prefix` releases it at prefill completion.  Returns
+        the tokens skipped (0 on miss / cache off / no shared prefix).
+        """
+        cache = self.prefix_cache
+        if cache is None or request.prefix_hash == 0:
+            return 0
+        if "prefix_cached" in request.extra:
+            return request.extra["prefix_cached"]
+        if (
+            request.prefilled_tokens
+            or request.output_generated
+            or request.recompute_count
+        ):
+            return 0  # only a fresh first prefill can reuse; re-prefills recompute
+        want = min(request.prefix_len, request.prefill_required - 1)
+        if want <= 0:
+            return 0
+        cached = cache.acquire(request.request_id, request.prefix_hash, want)
+        request.extra["prefix_cached"] = cached
+        if cached:
+            request.prefilled_tokens = cached
+            self.metrics.bump("prefix_hits")
+            self.metrics.bump("prefix_tokens_saved", cached)
+            self.trace.emit(
+                self.sim.now,
+                self.name,
+                "prefix-hit",
+                request_id=request.request_id,
+                tokens=cached,
+            )
+        else:
+            self.metrics.bump("prefix_misses")
+        return cached
+
+    def _settle_prefix(self, request: Request) -> None:
+        """Prefill finished: release the request's warm-prefix hold, or —
+        if it computed a cold prefix from scratch — publish it for
+        followers."""
+        cache = self.prefix_cache
+        if cache is None or request.prefix_hash == 0:
+            return
+        if cache.holding(request.request_id):
+            cache.release(request.request_id)
+            return
+        if request.recompute_count or request.output_generated > 1:
+            return  # recomputes / restarted decodes don't publish
+        tokens = min(request.prefix_len, request.prefill_required - 1)
+        if tokens > 0 and cache.insert(request.prefix_hash, tokens):
+            self.metrics.bump("prefix_inserts")
+            self.trace.emit(
+                self.sim.now,
+                self.name,
+                "prefix-insert",
+                request_id=request.request_id,
+                prefix_hash=request.prefix_hash,
+                tokens=tokens,
+            )
+
     # -- recoverable failures (chaos injection) ----------------------------------
 
     def fail(self) -> list[Request]:
@@ -502,6 +582,10 @@ class Instance:
             BlockLocation.CPU
         ):
             self.kv.free(alloc.request_id)
+        if self.prefix_cache is not None:
+            # The residents sweep above already freed the cache's blocks;
+            # reset() forgets the entries without double-freeing.
+            self.prefix_cache.reset()
         self.metrics.bump("instance_crash")
         return list(lost.values())
 
@@ -521,6 +605,9 @@ class Instance:
             block_size=self.config.block_size,
             bytes_per_token=self.spec.kv_bytes_per_token,
         )
+        # The recovered instance comes back with a cold prefix cache over
+        # the fresh pool (its old stats were already folded into metrics).
+        self.prefix_cache = self._build_prefix_cache()
         self.lanes = [Lane(i) for i in range(self.parallel.pp)]
         self.swapped = []
         self._swapping_in = set()
@@ -534,6 +621,14 @@ class Instance:
         and its detection); the system re-queues them elsewhere."""
         lost = [r for r in self.waiting if not r.finished]
         self.waiting.clear()
+        if self.prefix_cache is not None:
+            # A queued request may already hold a warm-prefix reference
+            # (taken at the head of the queue while waiting for KV room);
+            # it is leaving this instance, so drop the hold and let it try
+            # again wherever it lands.
+            for request in lost:
+                self.prefix_cache.release(request.request_id)
+                request.extra.pop("prefix_cached", None)
         return lost
 
     # -- reconfiguration (replanning restarts) ----------------------------------
@@ -554,6 +649,11 @@ class Instance:
             raise RuntimeError(f"{self.name}: cannot reconfigure with batches in flight")
         from repro.kvcache.blocks import BlockLocation, KVBlockManager
 
+        if self.prefix_cache is not None:
+            # Cached prefixes belong to no live request; drop them rather
+            # than migrating them into the resized pool (they rebuild
+            # organically from traffic).
+            self.prefix_cache.drain()
         old_kv = self.kv
         self.parallel = parallel
         self.gpus = gpus
@@ -597,6 +697,7 @@ class Instance:
                     self.swapped.append(request)
                     self.metrics.bump("swap_out")
             self.kv.adopt(alloc.request_id, alloc.tokens, target)
+        self.prefix_cache = self._build_prefix_cache()
         self.metrics.bump("reconfigure")
         self.trace.emit(
             self.sim.now, self.name, "reconfigure", parallel=parallel.label(), gpus=gpus

@@ -91,6 +91,13 @@ class Request:
     migration_count: int = 0
     dispatched_prefill: bool = False  # prefill ran on the decode instance
     tier: str = DEFAULT_TIER
+    # Shared-prefix identity (workloads/prefixes.py): a stable content hash
+    # of the system-prompt/few-shot header this prompt starts with, and how
+    # many leading prompt tokens it covers.  ``(0, 0)`` means no shared
+    # prefix — the default, so prefix-free runs fingerprint identically to
+    # pre-prefix recordings.
+    prefix_hash: int = 0
+    prefix_len: int = 0
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -102,6 +109,13 @@ class Request:
             raise ValueError(f"unknown SLO tier {self.tier!r}; known: {TIERS}")
         if self.prefill_required <= 0:
             self.prefill_required = self.prompt_tokens
+        if not 0 <= self.prefix_len < self.prompt_tokens:
+            raise ValueError(
+                "prefix_len must leave at least one uncached prompt token "
+                f"(got {self.prefix_len} of {self.prompt_tokens})"
+            )
+        if self.prefix_len == 0:
+            self.prefix_hash = 0  # a zero-length prefix is no prefix
 
     @property
     def priority(self) -> int:

@@ -388,9 +388,21 @@ class ServingSystem:
         if self.config.decode_instance is not None:
             preemption.add(self.config.decode_instance.preemption_policy)
         preemption.discard(FINGERPRINT_BASELINES["preemption"])
+        # Automatic prefix caching changes scheduling behaviour, so an
+        # enabled cache is stamped into the fingerprint identity; the
+        # default (0 — off) serialises nothing, preserving old digests.
+        prefix_tokens = {self.config.instance.prefix_cache_tokens}
+        if self.config.decode_instance is not None:
+            prefix_tokens.add(self.config.decode_instance.prefix_cache_tokens)
+        prefix_tokens.discard(0)
         return policy_identity(
             admission=self.config.admission_policy,
             preemption="+".join(sorted(preemption)) if preemption else None,
+            prefix_cache=(
+                "+".join(str(t) for t in sorted(prefix_tokens))
+                if prefix_tokens
+                else None
+            ),
         )
 
     def run_fingerprint(self, rng_registry: Iterable[str] = ()) -> "RunFingerprint":
@@ -404,7 +416,7 @@ class ServingSystem:
         """
         digest = self.sim.digest()
         return fingerprint_run(
-            self.trace.records,
+            self.trace,
             self.metrics.completed,
             rng_registry=rng_registry,
             events_processed=digest["events_processed"],

@@ -76,6 +76,14 @@ class TraceLog:
     def records(self) -> list[TraceRecord]:
         return self._records()
 
+    def iter_raw(self) -> Iterator[tuple[float, str, str, dict[str, Any]]]:
+        """Iterate the raw ``(time, component, tag, payload)`` tuples.
+
+        The fingerprint path hashes these directly (no TraceRecord, no
+        intermediate dict); see :func:`repro.sim.fingerprint.raw_row_json`.
+        """
+        return iter(self._raw)
+
     def filter(
         self,
         tag: Optional[str] = None,
@@ -104,9 +112,9 @@ class TraceLog:
         Two runs of the same scenario with the same seed must produce the
         same fingerprint; see :mod:`repro.sim.fingerprint`.
         """
-        from repro.sim.fingerprint import canonical_json, digest_lines, raw_row
+        from repro.sim.fingerprint import digest_lines, raw_row_json
 
-        return digest_lines(canonical_json(raw_row(*row)) for row in self._raw)
+        return digest_lines(raw_row_json(*row) for row in self._raw)
 
     def to_rows(self) -> list[dict]:
         """Canonical JSON-ready rows (the golden-trace JSONL schema)."""

@@ -9,6 +9,7 @@ from repro.workloads.datasets import (
     get_dataset,
 )
 from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
+from repro.workloads.prefixes import PrefixEntry, PrefixLibrary, PrefixMix
 from repro.workloads.trace import Trace, TraceStats, generate_trace
 from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
 
@@ -22,6 +23,9 @@ __all__ = [
     "get_dataset",
     "poisson_arrivals",
     "gamma_arrivals",
+    "PrefixEntry",
+    "PrefixLibrary",
+    "PrefixMix",
     "Trace",
     "TraceStats",
     "generate_trace",

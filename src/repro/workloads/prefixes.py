@@ -1,0 +1,206 @@
+"""Shared-prefix populations: prefix libraries and prefix mixes.
+
+At millions-of-users scale most traffic reuses a handful of system prompts
+and few-shot headers.  The workload layer models that with a
+:class:`PrefixLibrary` — a named set of prefix templates, each with a token
+length and a stable content hash — and a :class:`PrefixMix` that assigns
+each arriving request one of those prefixes (or none) from a dedicated
+``"prefix"`` RNG stream, exactly the way :class:`~repro.workloads.arrivals.TierMix`
+assigns SLO tiers from the ``"tiers"`` stream.
+
+The canonical text form mirrors ``TierMix``:
+
+``"none=0.25,assistant=0.5:384,fewshot=0.25:640"``
+
+Each entry is ``name=weight:tokens``; the reserved name ``none`` (weight
+only, no token length) stands for requests with a unique, unshared prompt.
+A request that draws a named prefix carries its stable ``prefix_hash`` and
+its ``prefix_len`` — the number of leading prompt tokens whose KV any
+instance holding the prefix warm can skip recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Reserved mix entry meaning "no shared prefix".
+NO_PREFIX = "none"
+
+
+def prefix_hash(name: str, tokens: int) -> int:
+    """Stable non-zero 63-bit content hash of a prefix template.
+
+    Derived from the template's identity (name + token length) via SHA-256,
+    so the same named prefix hashes identically across seeds, runs, and
+    processes — a requirement for cross-member routing affinity and for
+    serialised traces to round-trip.
+    """
+    digest = hashlib.sha256(f"prefix:{name}:{tokens}".encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big") >> 1  # 63-bit, non-negative
+    return value or 1
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """One shared prefix template: a name, a token length, a content hash."""
+
+    name: str
+    tokens: int
+    hash: int
+
+    def __post_init__(self) -> None:
+        if self.tokens < 1:
+            raise ValueError(f"prefix {self.name!r} needs at least one token")
+        if self.hash == 0:
+            raise ValueError(f"prefix {self.name!r} needs a non-zero hash")
+
+
+@dataclass(frozen=True)
+class PrefixLibrary:
+    """A named collection of shared-prefix templates."""
+
+    entries: tuple[PrefixEntry, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for entry in self.entries:
+            if entry.name == NO_PREFIX:
+                raise ValueError(f"{NO_PREFIX!r} is reserved for the no-prefix slot")
+            if entry.name in seen:
+                raise ValueError(f"prefix {entry.name!r} appears twice in the library")
+            seen.add(entry.name)
+
+    @classmethod
+    def build(cls, specs: list[tuple[str, int]]) -> "PrefixLibrary":
+        """Build from ``(name, tokens)`` pairs, deriving stable hashes."""
+        return cls(
+            entries=tuple(
+                PrefixEntry(name=name, tokens=tokens, hash=prefix_hash(name, tokens))
+                for name, tokens in specs
+            )
+        )
+
+    def get(self, name: str) -> PrefixEntry:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class PrefixMix:
+    """A weighted mix of shared prefixes assigned to arriving requests.
+
+    ``weights`` pairs entry names with positive weights; ``library`` holds
+    the named templates.  The reserved name ``none`` may appear in the
+    weights (and only there) for the unshared-prompt fraction.  The
+    canonical text form round-trips through :meth:`parse` /
+    :meth:`spec_string` and is what the CLI ``--prefix-mix`` knob and the
+    golden-scenario metadata carry.
+    """
+
+    weights: tuple[tuple[str, float], ...]
+    library: PrefixLibrary
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("a prefix mix needs at least one entry")
+        names = {entry.name for entry in self.library.entries}
+        seen: set[str] = set()
+        for name, weight in self.weights:
+            if name != NO_PREFIX and name not in names:
+                raise ValueError(f"prefix {name!r} is not in the library")
+            if name in seen:
+                raise ValueError(f"prefix {name!r} appears twice in the mix")
+            if not weight > 0:
+                raise ValueError(f"prefix {name!r} needs a positive weight, got {weight}")
+            seen.add(name)
+
+    @classmethod
+    def parse(cls, text: str) -> "PrefixMix":
+        """Parse ``"none=0.25,assistant=0.5:384,fewshot=0.25:640"``."""
+        weights: list[tuple[str, float]] = []
+        specs: list[tuple[str, int]] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"cannot parse prefix-mix entry {part!r}; "
+                    "expected name=weight:tokens (or none=weight)"
+                )
+            name, raw = part.split("=", 1)
+            name = name.strip()
+            if ":" in raw:
+                raw_weight, raw_tokens = raw.split(":", 1)
+                if name == NO_PREFIX:
+                    raise ValueError(f"{NO_PREFIX!r} takes no token length")
+                try:
+                    tokens = int(raw_tokens)
+                except ValueError:
+                    raise ValueError(
+                        f"prefix {name!r} has non-integer token length {raw_tokens!r}"
+                    )
+                specs.append((name, tokens))
+            else:
+                raw_weight = raw
+                if name != NO_PREFIX:
+                    raise ValueError(
+                        f"prefix {name!r} needs a token length (name=weight:tokens)"
+                    )
+            try:
+                weight = float(raw_weight)
+            except ValueError:
+                raise ValueError(f"prefix {name!r} has non-numeric weight {raw_weight!r}")
+            weights.append((name, weight))
+        return cls(weights=tuple(weights), library=PrefixLibrary.build(specs))
+
+    @classmethod
+    def uniform(cls, count: int, tokens: int, none: float = 0.0) -> "PrefixMix":
+        """``count`` equally-likely prefixes of ``tokens`` each (+ optional
+        ``none`` fraction) — the standard shape for locality experiments."""
+        if count < 1:
+            raise ValueError("need at least one prefix")
+        share = (1.0 - none) / count if none else 1.0 / count
+        weights: list[tuple[str, float]] = []
+        if none:
+            weights.append((NO_PREFIX, none))
+        specs = [(f"p{i}", tokens) for i in range(count)]
+        weights.extend((name, share) for name, _ in specs)
+        return cls(weights=tuple(weights), library=PrefixLibrary.build(specs))
+
+    def spec_string(self) -> str:
+        """The canonical text form (parse/spec_string round-trips)."""
+        parts = []
+        for name, weight in self.weights:
+            if name == NO_PREFIX:
+                parts.append(f"{name}={weight:g}")
+            else:
+                parts.append(f"{name}={weight:g}:{self.library.get(name).tokens}")
+        return ",".join(parts)
+
+    def probabilities(self) -> tuple[tuple[str, float], ...]:
+        total = sum(weight for _, weight in self.weights)
+        return tuple((name, weight / total) for name, weight in self.weights)
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[tuple[int, int]]:
+        """Draw ``n`` ``(prefix_hash, prefix_len)`` assignments.
+
+        One batched RNG draw, deterministic; the no-prefix slot yields
+        ``(0, 0)``.
+        """
+        probs = self.probabilities()
+        indices = rng.choice(len(probs), size=n, p=[p for _, p in probs])
+        assignments: list[tuple[int, int]] = []
+        for i in indices:
+            name = probs[int(i)][0]
+            if name == NO_PREFIX:
+                assignments.append((0, 0))
+            else:
+                entry = self.library.get(name)
+                assignments.append((entry.hash, entry.tokens))
+        return assignments

@@ -14,6 +14,7 @@ from repro.serving.request import DEFAULT_TIER, Request
 from repro.sim.random import RandomStreams
 from repro.workloads.arrivals import TierMix, gamma_arrivals, poisson_arrivals
 from repro.workloads.datasets import DatasetProfile
+from repro.workloads.prefixes import PrefixMix
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,10 @@ class Trace:
             # stay byte-identical to pre-tier recordings.
             if r.tier != DEFAULT_TIER:
                 row["tier"] = r.tier
+            # Likewise the prefix keys: only shared-prefix requests carry them.
+            if r.prefix_len:
+                row["prefix_hash"] = r.prefix_hash
+                row["prefix_len"] = r.prefix_len
             rows.append(row)
         Path(path).write_text(json.dumps({"name": self.name, "rate": self.rate, "rows": rows}))
 
@@ -101,6 +106,8 @@ class Trace:
                 output_tokens=row["output"],
                 arrival_time=row["arrival"],
                 tier=row.get("tier", DEFAULT_TIER),
+                prefix_hash=row.get("prefix_hash", 0),
+                prefix_len=row.get("prefix_len", 0),
             )
             for row in data["rows"]
         ]
@@ -117,6 +124,7 @@ def generate_trace(
     arrival_process: str = "poisson",
     burstiness_cv: float = 2.0,
     tier_mix: Optional[TierMix] = None,
+    prefix_mix: Optional[PrefixMix] = None,
 ) -> Trace:
     """Sample an arrival trace from a dataset profile.
 
@@ -128,7 +136,10 @@ def generate_trace(
     ``tier_mix``, each request draws an SLO tier from the dedicated
     ``"tiers"`` RNG stream; without one the stream is never touched, so
     tier-free traces (and their RNG registries) are byte-identical to
-    pre-tier recordings.
+    pre-tier recordings.  A ``prefix_mix`` works the same way over the
+    dedicated ``"prefix"`` stream: each request draws a shared-prefix
+    assignment (``prefix_hash``/``prefix_len``), clamped so at least one
+    prompt token always remains to compute.
     """
     streams = RandomStreams(seed)
     if arrival_process == "poisson":
@@ -144,6 +155,9 @@ def generate_trace(
     tiers = None
     if tier_mix is not None:
         tiers = tier_mix.sample(streams.get("tiers"), num_requests)
+    prefixes = None
+    if prefix_mix is not None:
+        prefixes = prefix_mix.sample(streams.get("prefix"), num_requests)
 
     requests = []
     for i in range(num_requests):
@@ -151,6 +165,15 @@ def generate_trace(
         if model is not None:
             prompt = min(prompt, model.max_context - 2)
             output = max(1, min(output, model.max_context - prompt))
+        if prefixes is not None:
+            p_hash, p_len = prefixes[i]
+            # The shared header is a leading slice of the prompt; at least
+            # one prompt token must remain uncached so prefill still runs.
+            p_len = min(p_len, prompt - 1)
+            if p_len <= 0:
+                p_hash, p_len = 0, 0
+        else:
+            p_hash, p_len = 0, 0
         requests.append(
             Request(
                 request_id=start_id + i,
@@ -158,6 +181,8 @@ def generate_trace(
                 output_tokens=output,
                 arrival_time=float(arrivals[i]),
                 tier=tiers[i] if tiers is not None else DEFAULT_TIER,
+                prefix_hash=p_hash,
+                prefix_len=p_len,
             )
         )
     trace = Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")

@@ -87,6 +87,7 @@ class TestPolicyRegistry:
             "least-loaded",
             "predicted-ttft",
             "tier-aware",
+            "prefix-affinity",
         }
         assert set(ADMISSION_POLICIES.names()) == {"nested-caps", "preemptive"}
         assert set(PREEMPTION_POLICIES.names()) == {"latest-arrived", "tier-aware"}
