@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record differential chaos policies prefix clean
+.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record golden-validate goldens-rerecord differential chaos policies prefix clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -9,8 +9,21 @@ test:
 golden-check:
 	python -m repro golden check
 
+# Record brand-new scenarios (stamps an initial provenance block).
 golden-record:
 	python -m repro golden record
+
+# Cheap header audit: format version + provenance chain of every golden.
+golden-validate:
+	python -m repro golden validate
+
+# Provenance-tracked re-record after an intentional behaviour change:
+#   make goldens-rerecord REASON="why the store moves" [TAG=pr<N>-slug]
+# Writes the prior fingerprint chain into each golden and prints the
+# per-scenario migration report (see docs/determinism.md).
+goldens-rerecord:
+	@test -n "$(REASON)" || { echo 'usage: make goldens-rerecord REASON="why" [TAG=pr<N>-slug]'; exit 1; }
+	python -m repro golden rerecord --reason "$(REASON)" $(if $(TAG),--tag "$(TAG)")
 
 differential:
 	python -m repro differential --seeds 0,1,2

@@ -174,7 +174,14 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def cmd_golden(args: argparse.Namespace) -> int:
-    from repro.harness.golden import GOLDEN_MATRIX, check_goldens, record_goldens
+    from repro.harness.golden import (
+        GOLDEN_MATRIX,
+        check_goldens,
+        record_goldens,
+        render_migration_report,
+        rerecord_goldens,
+        validate_golden_store,
+    )
 
     only = args.only or None
     if args.action == "list":
@@ -183,8 +190,37 @@ def cmd_golden(args: argparse.Namespace) -> int:
         return 0
     try:
         if args.action == "record":
-            for path in record_goldens(args.dir, only=only):
+            for path in record_goldens(
+                args.dir, only=only, reason=args.reason, tag=args.tag
+            ):
                 print(f"recorded {path}")
+            return 0
+        if args.action == "rerecord":
+            if not args.reason:
+                print(
+                    "error: rerecord requires --reason (the provenance line "
+                    "reviewers read)",
+                    file=sys.stderr,
+                )
+                return 2
+            outcomes = rerecord_goldens(
+                args.dir, reason=args.reason, tag=args.tag, only=only
+            )
+            report = render_migration_report(outcomes)
+            print(report)
+            if args.report_out is not None:
+                args.report_out.write_text(report + "\n")
+                print(f"\nmigration report written to {args.report_out}")
+            return 0
+        if args.action == "validate":
+            problems = validate_golden_store(args.dir, only=only)
+            for problem in problems:
+                print(f"PROVENANCE: {problem}")
+            if problems:
+                print(f"\n{len(problems)} problem(s) in the golden store")
+                return 1
+            count = len(only) if only else len(GOLDEN_MATRIX)
+            print(f"all {count} golden header(s) valid (format + provenance chain)")
             return 0
         diffs = check_goldens(args.dir, only=only)
     except ValueError as exc:
@@ -196,8 +232,8 @@ def cmd_golden(args: argparse.Namespace) -> int:
     if failed:
         print(
             f"\n{failed}/{len(diffs)} golden scenario(s) diverged. If the behaviour "
-            "change is intentional, re-record with `python -m repro golden record` "
-            "(see docs/determinism.md)."
+            "change is intentional, re-record with `python -m repro golden rerecord "
+            "--reason ...` (see docs/determinism.md)."
         )
         return 1
     print(f"\nall {len(diffs)} golden scenario(s) match")
@@ -579,9 +615,12 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown_p.set_defaults(func=cmd_breakdown)
 
     golden_p = sub.add_parser(
-        "golden", help="record or check deterministic golden traces"
+        "golden",
+        help="record, rerecord (with provenance), check, or validate golden traces",
     )
-    golden_p.add_argument("action", choices=("record", "check", "list"))
+    golden_p.add_argument(
+        "action", choices=("record", "rerecord", "check", "validate", "list")
+    )
     golden_p.add_argument(
         "--dir",
         type=Path,
@@ -593,6 +632,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="SCENARIO",
         help="restrict to a named scenario (repeatable; see `golden list`)",
+    )
+    golden_p.add_argument(
+        "--reason",
+        help="why the store is being re-recorded (required for rerecord; "
+        "stamped into each golden's provenance header)",
+    )
+    golden_p.add_argument(
+        "--tag",
+        help="date-free PR tag stamped into provenance (e.g. pr8-cost-model)",
+    )
+    golden_p.add_argument(
+        "--report-out",
+        type=Path,
+        metavar="PATH",
+        help="also write the rerecord migration report to this file",
     )
     golden_p.set_defaults(func=cmd_golden)
 

@@ -7,9 +7,18 @@ tracing on, and the tag-filtered event stream + final per-request metrics
 + RNG registry are captured as compact JSONL *goldens* under
 ``tests/golden/``.  ``python -m repro golden check`` re-runs the matrix
 and names the first diverging event (time, component, tag, payload delta)
-when a scheduler change perturbs behaviour; ``python -m repro golden
-record`` refreshes the files after an *intentional* change (see
-``docs/determinism.md``).
+when a scheduler change perturbs behaviour.
+
+Refreshing the store after an *intentional* change goes through
+``python -m repro golden rerecord --reason "..."``: each golden keeps a
+**provenance** header chaining every fingerprint it ever replaced (reason,
+PR tag, prior fingerprint, per-component mismatch summary), and the
+rerecord emits a migration report of per-scenario metric deltas (mean
+TTFT/TPOT, makespan, shed/requeue counts) so reviewers audit *what
+changed and by how much* instead of diffing SHA-256 hashes.  ``python -m
+repro golden record`` stays the verb for brand-new scenarios; ``python -m
+repro golden validate`` checks every stored header's format version and
+provenance chain (see ``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -75,7 +84,16 @@ GOLDEN_TAGS = frozenset(
     }
 )
 
-GOLDEN_FORMAT_VERSION = 1
+# Version 2 added the provenance header (PR 8); version-1 files are only
+# readable through the rerecord migration path (``load_golden(allow_old=True)``).
+GOLDEN_FORMAT_VERSION = 2
+
+#: Schema version of the ``provenance`` header block.
+PROVENANCE_FORMAT_VERSION = 1
+
+#: Reason stamped by ``golden record`` when none is given: a fresh
+#: recording of a new scenario, with no prior fingerprint to chain.
+INITIAL_RECORD_REASON = "initial record"
 
 
 @dataclass(frozen=True)
@@ -482,7 +500,23 @@ def golden_path(directory: Path, name: str) -> Path:
     return Path(directory) / f"{name}.jsonl"
 
 
-def save_golden(run: GoldenRun, directory: Path) -> Path:
+def initial_provenance(reason: Optional[str] = None, tag: Optional[str] = None) -> dict:
+    """Provenance block for a first recording: no prior fingerprint."""
+    provenance = {
+        "format": PROVENANCE_FORMAT_VERSION,
+        "reason": reason or INITIAL_RECORD_REASON,
+        "prior": None,
+        "chain": [],
+        "changed": [],
+    }
+    if tag:
+        provenance["tag"] = tag
+    return provenance
+
+
+def save_golden(
+    run: GoldenRun, directory: Path, provenance: Optional[dict] = None
+) -> Path:
     """Write one scenario's golden JSONL (header line, then one event/line)."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -494,6 +528,7 @@ def save_golden(run: GoldenRun, directory: Path) -> Path:
         "events": len(run.event_rows),
         "rng": list(run.rng_registry),
         "requests": run.request_rows,
+        "provenance": provenance if provenance is not None else initial_provenance(),
     }
     path = golden_path(directory, run.scenario.name)
     with path.open("w") as fh:
@@ -503,30 +538,306 @@ def save_golden(run: GoldenRun, directory: Path) -> Path:
     return path
 
 
-def load_golden(path: Path) -> tuple[dict, list[dict]]:
-    """Read a golden file back as (header, event rows)."""
+def load_golden(path: Path, *, allow_old: bool = False) -> tuple[dict, list[dict]]:
+    """Read a golden file back as (header, event rows).
+
+    ``allow_old=True`` accepts headers from earlier format versions — the
+    rerecord migration path, which needs to read the store it is about to
+    replace.  Checks always demand the current version.
+    """
     with Path(path).open() as fh:
         lines = [line for line in fh.read().splitlines() if line]
     if not lines:
         raise ValueError(f"golden file {path} is empty")
     header = json.loads(lines[0])
-    if header.get("golden") != GOLDEN_FORMAT_VERSION:
+    version = header.get("golden")
+    acceptable = (
+        isinstance(version, int) and 1 <= version <= GOLDEN_FORMAT_VERSION
+        if allow_old
+        else version == GOLDEN_FORMAT_VERSION
+    )
+    if not acceptable:
         raise ValueError(
-            f"golden file {path} has format version {header.get('golden')!r}; "
+            f"golden file {path} has format version {version!r}; "
             f"expected {GOLDEN_FORMAT_VERSION} — re-record with "
-            f"`python -m repro golden record`"
+            f"`python -m repro golden rerecord --reason ...`"
         )
     return header, [json.loads(line) for line in lines[1:]]
 
 
 def record_goldens(
-    directory: Path = DEFAULT_GOLDEN_DIR, only: Optional[Sequence[str]] = None
+    directory: Path = DEFAULT_GOLDEN_DIR,
+    only: Optional[Sequence[str]] = None,
+    reason: Optional[str] = None,
+    tag: Optional[str] = None,
 ) -> list[Path]:
-    """Run the matrix (or a named subset) and write/refresh golden files."""
+    """Run the matrix (or a named subset) and write/refresh golden files.
+
+    This is the verb for *new* scenarios: it stamps an initial provenance
+    block with no prior fingerprint.  Refreshing an existing golden after
+    an intentional behaviour change should go through
+    :func:`rerecord_goldens`, which preserves the fingerprint chain.
+    """
     paths = []
+    provenance = initial_provenance(reason, tag)
     for scenario in _select(only):
-        paths.append(save_golden(run_scenario(scenario), directory))
+        paths.append(save_golden(run_scenario(scenario), directory, dict(provenance)))
     return paths
+
+
+# -- provenance-tracked re-recording ------------------------------------------
+
+
+def _fingerprint_from_header(fp: dict) -> RunFingerprint:
+    """Rebuild a :class:`RunFingerprint` from a golden header's dict form."""
+    return RunFingerprint(
+        trace_hash=fp["trace"],
+        requests_hash=fp["requests"],
+        rng_hash=fp["rng"],
+        events_processed=fp["events_processed"],
+        horizon=fp["horizon"],
+        version=fp["version"],
+        policies=tuple(sorted(fp.get("policies", {}).items())),
+    )
+
+
+def scenario_metrics(request_rows: Sequence[dict], event_rows: Sequence[dict]) -> dict:
+    """Reviewer-facing summary metrics of one recorded scenario.
+
+    Derived purely from a golden's stored artefacts so old and new sides of
+    a rerecord are measured identically: mean TTFT/TPOT and makespan from
+    the per-request rows, shed/requeue counts from the event stream.
+    """
+    ttfts = [r["first_token"] - r["arrival"] for r in request_rows]
+    tpots = [
+        (r["finish"] - r["first_token"]) / (r["output"] - 1)
+        for r in request_rows
+        if r["output"] > 1
+    ]
+    tags = [row["g"] for row in event_rows]
+    return {
+        "completed": len(request_rows),
+        "mean_ttft": sum(ttfts) / len(ttfts) if ttfts else 0.0,
+        "mean_tpot": sum(tpots) / len(tpots) if tpots else 0.0,
+        "makespan": max((r["finish"] for r in request_rows), default=0.0),
+        "shed": tags.count("request-shed"),
+        "requeued": tags.count("request-requeue"),
+    }
+
+
+@dataclass
+class RerecordOutcome:
+    """One scenario's before/after accounting from a provenance rerecord."""
+
+    scenario: str
+    path: Path
+    prior_combined: str
+    new_combined: str
+    changed: list[str]
+    old_metrics: dict
+    new_metrics: dict
+
+    @property
+    def identical(self) -> bool:
+        return self.prior_combined == self.new_combined
+
+
+def rerecord_goldens(
+    directory: Path = DEFAULT_GOLDEN_DIR,
+    *,
+    reason: str,
+    tag: Optional[str] = None,
+    only: Optional[Sequence[str]] = None,
+) -> list[RerecordOutcome]:
+    """Re-run each scenario and replace its golden, chaining provenance.
+
+    For every selected scenario the existing golden *must* be present: its
+    fingerprint becomes the new header's ``provenance.prior``, is appended
+    to ``provenance.chain`` (oldest first), and the per-component
+    :meth:`RunFingerprint.explain_mismatch` summary is stored as
+    ``provenance.changed``.  Returns one :class:`RerecordOutcome` per
+    scenario for the migration report.
+    """
+    if not reason or not reason.strip():
+        raise ValueError("rerecord requires a non-empty --reason")
+    directory = Path(directory)
+    outcomes = []
+    for scenario in _select(only):
+        path = golden_path(directory, scenario.name)
+        if not path.exists():
+            raise ValueError(
+                f"no golden recorded at {path} — new scenarios are recorded "
+                f"with `python -m repro golden record`, not rerecord"
+            )
+        old_header, old_events = load_golden(path, allow_old=True)
+        run = run_scenario(scenario)
+        prior_fp = _fingerprint_from_header(old_header["fingerprint"])
+        changed = prior_fp.explain_mismatch(run.fingerprint)
+        old_provenance = old_header.get("provenance") or {}
+        provenance = {
+            "format": PROVENANCE_FORMAT_VERSION,
+            "reason": reason,
+            "prior": {
+                "combined": old_header["combined"],
+                "fingerprint": old_header["fingerprint"],
+            },
+            "chain": list(old_provenance.get("chain", [])) + [old_header["combined"]],
+            "changed": changed,
+        }
+        if tag:
+            provenance["tag"] = tag
+        save_golden(run, directory, provenance)
+        outcomes.append(
+            RerecordOutcome(
+                scenario=scenario.name,
+                path=path,
+                prior_combined=old_header["combined"],
+                new_combined=run.fingerprint.value,
+                changed=changed,
+                old_metrics=scenario_metrics(
+                    old_header.get("requests", []), old_events
+                ),
+                new_metrics=scenario_metrics(run.request_rows, run.event_rows),
+            )
+        )
+    return outcomes
+
+
+_REPORT_COLUMNS = (
+    # (metric key, column label, format)
+    ("mean_ttft", "mean TTFT (s)", "{:+.6f}"),
+    ("mean_tpot", "mean TPOT (s)", "{:+.6f}"),
+    ("makespan", "makespan (s)", "{:+.6f}"),
+    ("completed", "completed", "{:+d}"),
+    ("shed", "shed", "{:+d}"),
+    ("requeued", "requeued", "{:+d}"),
+)
+
+
+def render_migration_report(outcomes: Sequence[RerecordOutcome]) -> str:
+    """Human-readable per-scenario metric deltas from a rerecord.
+
+    This is the artefact a reviewer reads instead of 19 hash diffs: what
+    each scenario's headline metrics did under the intentional change.
+    """
+    lines = ["golden migration report", "======================="]
+    changed_count = sum(not o.identical for o in outcomes)
+    lines.append(
+        f"{len(outcomes)} scenario(s) re-recorded; "
+        f"{changed_count} changed, {len(outcomes) - changed_count} byte-identical"
+    )
+    for o in outcomes:
+        lines.append("")
+        status = "unchanged" if o.identical else "changed: " + ", ".join(o.changed)
+        lines.append(f"{o.scenario}  [{status}]")
+        lines.append(f"    fingerprint {o.prior_combined[:12]} -> {o.new_combined[:12]}")
+        if o.identical:
+            continue
+        for key, label, fmt in _REPORT_COLUMNS:
+            old, new = o.old_metrics[key], o.new_metrics[key]
+            delta = new - old
+            if not delta:
+                continue
+            rel = f" ({delta / old:+.2%})" if isinstance(old, float) and old else ""
+            lines.append(
+                f"    {label:<14} {old:.6f} -> {new:.6f}  {fmt.format(delta)}{rel}"
+                if isinstance(old, float)
+                else f"    {label:<14} {old} -> {new}  {fmt.format(delta)}"
+            )
+    return "\n".join(lines)
+
+
+# -- store validation ---------------------------------------------------------
+
+_HEX64 = 64
+
+
+def _is_combined_digest(value: object) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == _HEX64
+        and all(c in "0123456789abcdef" for c in value)
+    )
+
+
+def validate_provenance(provenance: object) -> list[str]:
+    """Problems with one header's provenance block (empty list = valid)."""
+    if not isinstance(provenance, dict):
+        return ["provenance block missing or not an object"]
+    problems = []
+    if provenance.get("format") != PROVENANCE_FORMAT_VERSION:
+        problems.append(
+            f"provenance format {provenance.get('format')!r} != "
+            f"{PROVENANCE_FORMAT_VERSION}"
+        )
+    reason = provenance.get("reason")
+    if not isinstance(reason, str) or not reason.strip():
+        problems.append("provenance reason missing or empty")
+    tag = provenance.get("tag")
+    if tag is not None and (not isinstance(tag, str) or not tag.strip()):
+        problems.append("provenance tag present but empty")
+    chain = provenance.get("chain")
+    if not isinstance(chain, list) or not all(_is_combined_digest(c) for c in chain):
+        problems.append("provenance chain must be a list of combined digests")
+        chain = None
+    changed = provenance.get("changed")
+    if not isinstance(changed, list) or not all(isinstance(c, str) for c in changed):
+        problems.append("provenance changed must be a list of component names")
+    prior = provenance.get("prior", "<absent>")
+    if prior == "<absent>":
+        problems.append("provenance prior missing (use null for initial records)")
+    elif prior is None:
+        if chain:
+            problems.append("initial record must have an empty chain")
+    elif isinstance(prior, dict):
+        if not _is_combined_digest(prior.get("combined")):
+            problems.append("provenance prior.combined is not a digest")
+        if not isinstance(prior.get("fingerprint"), dict):
+            problems.append("provenance prior.fingerprint missing")
+        elif chain is not None:
+            if not chain or chain[-1] != prior.get("combined"):
+                problems.append(
+                    "provenance chain does not end at prior.combined — the "
+                    "prior-fingerprint chain is broken"
+                )
+    else:
+        problems.append("provenance prior must be null or an object")
+    return problems
+
+
+def validate_golden_store(
+    directory: Path = DEFAULT_GOLDEN_DIR, only: Optional[Sequence[str]] = None
+) -> list[str]:
+    """Validate every stored golden's format version and provenance header.
+
+    Cheap (no simulation): parses each file, checks the format version
+    matches, the provenance block is well-formed, its chain is intact, and
+    the header's event count matches the stored stream.  Returns a flat
+    list of ``"<scenario>: <problem>"`` strings; empty means the store is
+    auditable.
+    """
+    problems = []
+    for scenario in _select(only):
+        path = golden_path(Path(directory), scenario.name)
+        if not path.exists():
+            problems.append(f"{scenario.name}: no golden recorded at {path}")
+            continue
+        try:
+            header, events = load_golden(path)
+        except ValueError as exc:
+            problems.append(f"{scenario.name}: {exc}")
+            continue
+        if header.get("events") != len(events):
+            problems.append(
+                f"{scenario.name}: header says {header.get('events')} events, "
+                f"file holds {len(events)}"
+            )
+        if not _is_combined_digest(header.get("combined")):
+            problems.append(f"{scenario.name}: combined digest malformed")
+        problems.extend(
+            f"{scenario.name}: {p}" for p in validate_provenance(header.get("provenance"))
+        )
+    return problems
 
 
 # -- diffing ------------------------------------------------------------------
@@ -608,16 +919,7 @@ def diff_against_golden(path: Path, run: GoldenRun) -> GoldenDiff:
     if header["combined"] == run.fingerprint.value:
         return diff
 
-    fp = header["fingerprint"]
-    recorded = RunFingerprint(
-        trace_hash=fp["trace"],
-        requests_hash=fp["requests"],
-        rng_hash=fp["rng"],
-        events_processed=fp["events_processed"],
-        horizon=fp["horizon"],
-        version=fp["version"],
-        policies=tuple(sorted(fp.get("policies", {}).items())),
-    )
+    recorded = _fingerprint_from_header(header["fingerprint"])
     components = recorded.explain_mismatch(run.fingerprint)
     diff.messages.append(
         "fingerprint mismatch in: " + (", ".join(components) or "combined digest")

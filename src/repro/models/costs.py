@@ -151,6 +151,110 @@ def model_io_bytes_prefill_extend(
 
 
 # --------------------------------------------------------------------------
+# Hybrid (fused prefill-chunk + decode-batch) pass decomposition
+# --------------------------------------------------------------------------
+#
+# A hybrid pass fuses the *linear* operators (QKVO projections, FFN, LM
+# head) across every token in the pass — weights stream once, compute
+# covers prefill and decode tokens together — while the attention kernels
+# still run per phase (the prefill chunk's score/value GEMMs, then the
+# decode batch's paged-KV sweep).  The three groups below decompose the
+# pass so the roofline can max() compute against IO within each group.
+#
+# Two identities tie the decomposition back to the isolated-phase
+# formulas, asserted term-by-term in tests/perf/test_cost_consistency.py:
+#
+#   model_flops_hybrid(n, b, sL, P) ==
+#       model_flops_decode(b, sL) + model_flops_prefill_extend(n, P)
+#       (fusion saves no arithmetic)
+#
+#   model_io_bytes_hybrid(n, b, sL, P) ==
+#       model_io_bytes_decode(b, sL) + model_io_bytes_prefill_extend(n, P)
+#       - (num_layers * weight_bytes_per_layer + lm_head_bytes)
+#       (fusion streams the weights and LM head exactly once, not twice)
+
+
+def hybrid_flops_linear(spec: ModelSpec, prefill_tokens: int, batch_size: int) -> float:
+    """Fused linear-operator FLOPs: projections + FFN over every token in
+    the pass, plus LM-head matmuls for the chunk's last token and each
+    decode request."""
+    total = prefill_tokens + batch_size
+    linear = 2 * total * spec.num_layers * spec.params_per_layer
+    lm_head = 2 * (1 + batch_size) * spec.hidden_size * spec.vocab_size
+    return float(linear + lm_head)
+
+
+def hybrid_io_bytes_linear(spec: ModelSpec, prefill_tokens: int, batch_size: int) -> float:
+    """Fused linear-operator HBM traffic: every weight byte (per-layer
+    weights + LM head) streams once for the whole pass, and each of the
+    pass's tokens pays the per-layer activation read/write traffic —
+    ``8 * tokens * H * dtype`` bytes *per layer*, exactly as
+    :func:`layer_io_bytes_prefill` / :func:`layer_io_bytes_decode` charge
+    it for the isolated phases."""
+    total = prefill_tokens + batch_size
+    weights = spec.num_layers * spec.weight_bytes_per_layer
+    lm_head = spec.vocab_size * spec.hidden_size * spec.dtype_bytes
+    activations = spec.num_layers * 8 * total * spec.hidden_size * spec.dtype_bytes
+    return float(weights + lm_head + activations)
+
+
+def hybrid_flops_attn_prefill(spec: ModelSpec, new_tokens: int, prior_context: int) -> float:
+    """Score/value FLOPs for the prefill chunk (``4·N·(P+N)·H`` per layer)."""
+    return float(
+        spec.num_layers * 4 * new_tokens * (prior_context + new_tokens) * spec.hidden_size
+    )
+
+
+def hybrid_io_bytes_attn_prefill(spec: ModelSpec, new_tokens: int, prior_context: int) -> float:
+    """KV traffic for the prefill chunk: re-read the prior chunks' cache,
+    write the new entries."""
+    return float(
+        spec.num_layers * (prior_context + new_tokens) * spec.kv_bytes_per_token_per_layer
+    )
+
+
+def hybrid_flops_attn_decode(spec: ModelSpec, sum_context: int) -> float:
+    """Score/value FLOPs for the decode batch (``4·ΣL·H`` per layer)."""
+    return float(spec.num_layers * 4 * sum_context * spec.hidden_size)
+
+
+def hybrid_io_bytes_attn_decode(spec: ModelSpec, batch_size: int, sum_context: int) -> float:
+    """KV traffic for the decode batch: sweep every cached token, write one
+    new entry per request."""
+    return float(
+        spec.num_layers * (sum_context + batch_size) * spec.kv_bytes_per_token_per_layer
+    )
+
+
+def model_flops_hybrid(
+    spec: ModelSpec,
+    prefill_tokens: int,
+    batch_size: int,
+    sum_context: int,
+    prior_context: int = 0,
+) -> float:
+    return (
+        hybrid_flops_linear(spec, prefill_tokens, batch_size)
+        + hybrid_flops_attn_prefill(spec, prefill_tokens, prior_context)
+        + hybrid_flops_attn_decode(spec, sum_context)
+    )
+
+
+def model_io_bytes_hybrid(
+    spec: ModelSpec,
+    prefill_tokens: int,
+    batch_size: int,
+    sum_context: int,
+    prior_context: int = 0,
+) -> float:
+    return (
+        hybrid_io_bytes_linear(spec, prefill_tokens, batch_size)
+        + hybrid_io_bytes_attn_prefill(spec, prefill_tokens, prior_context)
+        + hybrid_io_bytes_attn_decode(spec, batch_size, sum_context)
+    )
+
+
+# --------------------------------------------------------------------------
 # Whole-model aggregates
 # --------------------------------------------------------------------------
 

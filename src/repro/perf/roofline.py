@@ -14,6 +14,12 @@ from dataclasses import dataclass
 
 from repro.hardware.gpu import GPUSpec
 from repro.models.costs import (
+    hybrid_flops_attn_decode,
+    hybrid_flops_attn_prefill,
+    hybrid_flops_linear,
+    hybrid_io_bytes_attn_decode,
+    hybrid_io_bytes_attn_prefill,
+    hybrid_io_bytes_linear,
     model_flops_decode,
     model_flops_prefill,
     model_flops_prefill_extend,
@@ -141,47 +147,51 @@ class LatencyModel:
         spec = self.spec
         all_tokens = prefill_tokens + batch_size
         # Linear ops (QKVO projections, FFN, LM head) fuse across prefill and
-        # decode tokens: weights stream once, compute covers every token.
-        linear_flops = 2 * all_tokens * spec.num_layers * spec.params_per_layer
-        linear_flops += 2 * (1 + batch_size) * spec.hidden_size * spec.vocab_size
-        linear_io = spec.num_layers * spec.weight_bytes_per_layer
-        linear_io += spec.vocab_size * spec.hidden_size * spec.dtype_bytes
-        linear_io += 8 * all_tokens * spec.hidden_size * spec.dtype_bytes
-        linear_compute = self._compute_time(linear_flops, all_tokens)
-        linear_io_time = self._io_time(linear_io)
+        # decode tokens: weights stream once, compute covers every token, and
+        # each token pays the per-layer activation traffic (the same
+        # 8*tokens*H*dtype bytes *per layer* that decode()/prefill() charge).
+        linear_compute = self._compute_time(
+            hybrid_flops_linear(spec, prefill_tokens, batch_size), all_tokens
+        )
+        linear_io_time = self._io_time(
+            hybrid_io_bytes_linear(spec, prefill_tokens, batch_size)
+        )
 
         # Attention kernels run per phase: the prefill chunk's score/value
         # GEMMs (compute-bound, re-reading prior-chunk KV) then the decode
         # batch's paged attention (bandwidth-bound KV sweep).
-        h = spec.hidden_size
-        p_attn_flops = spec.num_layers * 4 * prefill_tokens * (
-            prefill_prior_context + prefill_tokens
-        ) * h
-        p_attn_io = spec.num_layers * (
-            (prefill_prior_context + prefill_tokens) * spec.kv_bytes_per_token_per_layer
+        p_attn_compute = self._compute_time(
+            hybrid_flops_attn_prefill(spec, prefill_tokens, prefill_prior_context),
+            prefill_tokens,
         )
-        p_attn = max(
-            self._compute_time(p_attn_flops, prefill_tokens), self._io_time(p_attn_io)
+        p_attn_io_time = self._io_time(
+            hybrid_io_bytes_attn_prefill(spec, prefill_tokens, prefill_prior_context)
         )
-        d_attn_io = spec.num_layers * (
-            (sum_context + batch_size) * spec.kv_bytes_per_token_per_layer
+        d_attn_compute = self._compute_time(
+            hybrid_flops_attn_decode(spec, sum_context), None
         )
-        d_attn = max(
-            self._compute_time(
-                spec.num_layers * 4 * sum_context * h, None
-            ),
-            self._io_time(d_attn_io),
+        d_attn_io_time = self._io_time(
+            hybrid_io_bytes_attn_decode(spec, batch_size, sum_context)
         )
-        compute = max(linear_compute, linear_io_time) + p_attn + d_attn
-        io_total = linear_io_time + self._io_time(p_attn_io + d_attn_io)
+
+        # Each group overlaps its own compute against its own HBM traffic;
+        # the groups themselves serialise.
+        busy = (
+            max(linear_compute, linear_io_time)
+            + max(p_attn_compute, p_attn_io_time)
+            + max(d_attn_compute, d_attn_io_time)
+        )
         comm = self.parallel.tp_allreduce_time(spec, all_tokens)
         comm += self.parallel.pp_activation_time(spec, all_tokens)
         overhead = PER_PASS_OVERHEAD_S + spec.num_layers * PER_LAYER_OVERHEAD_S
-        duration = compute + comm + overhead
+        # The breakdown sums each group's tensor-core-busy and HBM-busy
+        # components, so (as for the single-phase passes) duration >=
+        # max(compute_time, io_time) + comm_time and neither side
+        # double-counts the other's traffic.
         return BatchTiming(
-            duration=duration,
-            compute_time=linear_compute + p_attn,
-            io_time=io_total,
+            duration=busy + comm + overhead,
+            compute_time=linear_compute + p_attn_compute + d_attn_compute,
+            io_time=linear_io_time + p_attn_io_time + d_attn_io_time,
             comm_time=comm,
         )
 

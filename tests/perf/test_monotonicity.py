@@ -53,20 +53,13 @@ def test_decode_monotone_in_context(b, ctx, delta):
     ctx=st.integers(16, 1024),
 )
 def test_hybrid_at_least_decode_alone(chunk, prior, b, ctx):
+    """Strict bound: fusing a prefill chunk onto a decode batch can never be
+    cheaper than running the decode batch alone.  (Hybrid's per-layer
+    activation IO once priced a 1-token chunk below decode-alone; the cost
+    model now charges it per layer, matching decode()/prefill().)"""
     hybrid = model.hybrid(chunk, b, b * ctx, prefill_prior_context=prior).duration
     decode_alone = model.decode(b, b * ctx).duration
-    # Known cost-model approximation: hybrid() folds the linear-ops
-    # activation traffic once for the fused pass, while decode() counts
-    # 8*b*h bytes per layer, so a tiny prefill chunk can price marginally
-    # below decode-alone — by at most the per-layer activation IO hybrid
-    # leaves out.  Fixing the model changes batch durations and therefore
-    # every recorded golden, so it is deferred to a golden re-record PR
-    # (see ROADMAP); until then the bound allows exactly that slack.
-    spec = model.spec
-    unfused_activation_io = model._io_time(
-        (spec.num_layers - 1) * 8 * (chunk + b) * spec.hidden_size * spec.dtype_bytes
-    )
-    assert hybrid >= decode_alone - unfused_activation_io - 1e-12
+    assert hybrid >= decode_alone
 
 
 @settings(max_examples=40)
