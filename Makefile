@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record golden-validate goldens-rerecord differential chaos policies prefix clean
+.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record golden-validate goldens-rerecord differential chaos policies prefix tenants clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -42,6 +42,12 @@ policies:
 # wins and every KV/conservation check passes.
 prefix:
 	python -m repro prefix --smoke --out prefix_smoke.json
+
+# Tenant isolation: fair-share vs FIFO-within-tier under a heavy-tenant
+# burst (see docs/fair-share.md).  Exits non-zero unless fair-share holds
+# the isolation bound that FIFO violates on the same workload bytes.
+tenants:
+	python -m repro tenants --smoke --out tenants_smoke.json
 
 # Scale benchmark: records the next BENCH_<n>.json perf-trajectory point
 # (see docs/performance.md).  bench-smoke is the seconds-scale CI variant.

@@ -13,6 +13,7 @@ Python::
     python -m repro chaos --plans decode-crash,link-degrade
     python -m repro chaos --smoke
     python -m repro prefix --smoke
+    python -m repro tenants --smoke
     python -m repro models
     python -m repro datasets
 """
@@ -43,6 +44,22 @@ def _parse_parallel(value: str) -> tuple[int, int]:
     raise argparse.ArgumentTypeError(f"cannot parse parallelism {value!r}")
 
 
+def _fairshare_from_args(args: argparse.Namespace):
+    """Build a FairShareConfig from the tenant budget flags (or None)."""
+    weights = getattr(args, "tenant_weights", None)
+    max_inflight = getattr(args, "tenant_max_inflight", None)
+    max_tokens = getattr(args, "tenant_max_tokens", None)
+    if weights is None and max_inflight is None and max_tokens is None:
+        return None
+    from repro.policies.fairshare import FairShareConfig
+
+    return FairShareConfig(
+        weights=FairShareConfig.parse_weights(weights) if weights else (),
+        max_inflight=max_inflight,
+        max_tokens=max_tokens,
+    )
+
+
 def _spec_from_args(args: argparse.Namespace, system: str, rate: float) -> ExperimentSpec:
     return ExperimentSpec(
         system=system,
@@ -58,6 +75,9 @@ def _spec_from_args(args: argparse.Namespace, system: str, rate: float) -> Exper
         burstiness_cv=args.burstiness,
         tier_mix=args.tier_mix,
         prefix_mix=args.prefix_mix,
+        tenant_mix=getattr(args, "tenant_mix", None),
+        admission_policy=getattr(args, "admission", "nested-caps"),
+        fairshare=_fairshare_from_args(args),
     )
 
 
@@ -69,6 +89,9 @@ def _result_row(result) -> dict:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if (mix_error := _validate_tenant_mix(args)) is not None:
+        print(mix_error, file=sys.stderr)
+        return 2
     result = run_experiment(_spec_from_args(args, args.system, args.rate))
     row = _result_row(result)
     if args.json:
@@ -142,8 +165,12 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
     from repro.workloads.arrivals import TierMix
     from repro.workloads.datasets import get_dataset
     from repro.workloads.prefixes import PrefixMix
+    from repro.workloads.tenants import TenantMix
     from repro.workloads.trace import generate_trace
 
+    if (mix_error := _validate_tenant_mix(args)) is not None:
+        print(mix_error, file=sys.stderr)
+        return 2
     spec = _spec_from_args(args, args.system, args.rate)
     slo = resolve_slo(spec)
     system = build_system(spec, slo)
@@ -161,6 +188,7 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
         burstiness_cv=spec.burstiness_cv,
         tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
         prefix_mix=PrefixMix.parse(spec.prefix_mix) if spec.prefix_mix else None,
+        tenant_mix=TenantMix.parse(spec.tenant_mix) if spec.tenant_mix else None,
     )
     metrics = system.run_to_completion(trace)
     rows = breakdown_rows(metrics.completed, label=spec.system)
@@ -287,11 +315,31 @@ def _validate_prefix_mix(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _validate_tenant_mix(args: argparse.Namespace) -> Optional[str]:
+    """Parse-check the tenant flags up front; returns an error message or None."""
+    if getattr(args, "tenant_mix", None):
+        from repro.workloads.tenants import TenantMix
+
+        try:
+            TenantMix.parse(args.tenant_mix)
+        except ValueError as exc:
+            return f"error: bad --tenant-mix: {exc}"
+    try:
+        _fairshare_from_args(args)
+    except ValueError as exc:
+        return f"error: bad tenant budget flags: {exc}"
+    return None
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PLAN_NAMES
     from repro.harness.chaos import run_chaos_matrix
 
-    for mix_error in (_validate_tier_mix(args), _validate_prefix_mix(args)):
+    for mix_error in (
+        _validate_tier_mix(args),
+        _validate_prefix_mix(args),
+        _validate_tenant_mix(args),
+    ):
         if mix_error is not None:
             print(mix_error, file=sys.stderr)
             return 2
@@ -325,6 +373,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         tier_mix=args.tier_mix,
         prefix_mix=args.prefix_mix,
         admission_policy=args.admission,
+        tenant_mix=args.tenant_mix,
+        fairshare=_fairshare_from_args(args),
     )
     rows = [r.row() for r in results]
     if args.json:
@@ -395,6 +445,10 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
         tier_mix=args.tier_mix,
         prefix_mix=args.prefix_mix,
         admission_policy=args.admission,
+        tenant_mix=args.tenant_mix,
+        fairshare=_fairshare_from_args(args),
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
     )
     if args.json:
         payload = [
@@ -471,6 +525,60 @@ def cmd_prefix(args: argparse.Namespace) -> int:
     print(
         "\nprefix-affinity beats least-loaded on mean TTFT and total prefill "
         "tokens; all KV and conservation checks passed"
+    )
+    return 0
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.harness.tenant_compare import (
+        TenantComparisonSpec,
+        run_tenant_comparison,
+    )
+
+    kwargs = dict(
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        num_light=args.light_tenants,
+        light_weight=args.light_weight,
+        tenant_max_inflight=args.tenant_max_inflight,
+        burst_requests=args.burst_requests,
+        isolation_bound=args.bound,
+    )
+    if args.smoke:
+        # One fast deterministic comparison cell for CI.
+        kwargs["num_requests"] = min(args.requests, 80)
+        kwargs["burst_requests"] = min(args.burst_requests, 32)
+    try:
+        spec = TenantComparisonSpec(**kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_tenant_comparison(spec)
+    payload = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.report())
+    for name, run in report.runs.items():
+        for violation in run.violations:
+            print(f"[VIOLATED] {name}: {violation}", file=sys.stderr)
+    if not report.passed:
+        if report.isolation_holds and not report.fifo_violates:
+            print(
+                "experiment did not discriminate: FIFO also held the isolation "
+                "bound (raise the burst or lower --bound)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        "\nfair-share held the isolation bound the FIFO baseline violated; "
+        "budgets were never exceeded and all conservation checks passed"
     )
     return 0
 
@@ -573,6 +681,51 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
 
+def _add_tenant_args(
+    parser: argparse.ArgumentParser, admission: bool = True
+) -> None:
+    """Tenancy flags: population mix, fair-share budgets, admission choice.
+
+    ``admission=False`` skips ``--admission`` for parsers (chaos) that
+    already define it themselves.
+    """
+    parser.add_argument(
+        "--tenant-mix",
+        default=None,
+        metavar="SPEC",
+        help="tenant population, e.g. 'acme=0.6,beta=0.25,gamma=0.15' "
+        "(default: all requests owned by the default tenant)",
+    )
+    parser.add_argument(
+        "--tenant-weights",
+        default=None,
+        metavar="SPEC",
+        help="WFQ weights for fair-share, e.g. 'acme=1,beta=4' "
+        "(unlisted tenants get weight 1)",
+    )
+    parser.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=None,
+        help="per-tenant concurrent-request budget (fair-share admission)",
+    )
+    parser.add_argument(
+        "--tenant-max-tokens",
+        type=int,
+        default=None,
+        help="per-tenant in-flight prompt+output token budget (fair-share)",
+    )
+    if admission:
+        from repro.policies import ADMISSION_POLICIES
+
+        parser.add_argument(
+            "--admission",
+            choices=ADMISSION_POLICIES.names(),
+            default="nested-caps",
+            help="admission policy (fair-share enables WFQ + tenant budgets)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="WindServe reproduction experiment runner"
@@ -583,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--system", default="windserve", choices=SYSTEM_NAMES)
     run_p.add_argument("--rate", type=float, required=True, help="per-GPU req/s")
     _add_workload_args(run_p)
+    _add_tenant_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="sweep request rates across systems")
@@ -612,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown_p.add_argument("--system", default="windserve", choices=SYSTEM_NAMES)
     breakdown_p.add_argument("--rate", type=float, required=True)
     _add_workload_args(breakdown_p)
+    _add_tenant_args(breakdown_p)
     breakdown_p.set_defaults(func=cmd_breakdown)
 
     golden_p = sub.add_parser(
@@ -723,7 +878,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="nested-caps",
         help="degraded-mode admission policy",
     )
+    chaos_p.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant gateway rate limit in submits/s (with --fleet; "
+        "0 disables the token-bucket limiter)",
+    )
+    chaos_p.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=0.0,
+        help="token-bucket burst size (with --fleet; default max(1, rate))",
+    )
     _add_workload_args(chaos_p)
+    _add_tenant_args(chaos_p, admission=False)
     # Chaos checks invariants, not percentiles; keep runs quick.
     chaos_p.set_defaults(func=cmd_chaos, requests=120)
 
@@ -759,6 +928,46 @@ def build_parser() -> argparse.ArgumentParser:
     prefix_p.add_argument("--out", default=None, help="write the JSON report here")
     prefix_p.add_argument("--json", action="store_true")
     prefix_p.set_defaults(func=cmd_prefix)
+
+    tenants_p = sub.add_parser(
+        "tenants",
+        help="compare fair-share vs FIFO-within-tier isolation under a "
+        "heavy-tenant burst",
+    )
+    tenants_p.add_argument("--rate", type=float, default=3.0, help="per-GPU req/s")
+    tenants_p.add_argument("--requests", type=int, default=160)
+    tenants_p.add_argument("--seed", type=int, default=0)
+    tenants_p.add_argument("--model", default="opt-13b", choices=sorted(MODEL_REGISTRY))
+    tenants_p.add_argument(
+        "--dataset", default="sharegpt", choices=sorted(DATASET_REGISTRY)
+    )
+    tenants_p.add_argument(
+        "--light-tenants", type=int, default=2, help="light tenants sharing the system"
+    )
+    tenants_p.add_argument(
+        "--light-weight", type=float, default=4.0, help="WFQ weight per light tenant"
+    )
+    tenants_p.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=8,
+        help="per-tenant concurrency budget in the fair-share runs",
+    )
+    tenants_p.add_argument(
+        "--burst-requests", type=int, default=48, help="heavy-tenant burst size"
+    )
+    tenants_p.add_argument(
+        "--bound",
+        type=float,
+        default=1.5,
+        help="isolation bound: max light P99 TTFT degradation vs no-burst baseline",
+    )
+    tenants_p.add_argument(
+        "--smoke", action="store_true", help="fast deterministic CI cell"
+    )
+    tenants_p.add_argument("--out", default=None, help="write the JSON report here")
+    tenants_p.add_argument("--json", action="store_true")
+    tenants_p.set_defaults(func=cmd_tenants)
 
     bench_p = sub.add_parser(
         "bench",

@@ -34,6 +34,7 @@ from repro.models.parallelism import ParallelConfig
 from collections import Counter
 
 from repro.policies.base import policy_identity
+from repro.policies.fairshare import TenantRateLimiter
 from repro.policies.routing import ROUTING_POLICIES, member_load as _member_load
 from repro.serving.metrics import MetricsCollector
 from repro.serving.placement import Placement
@@ -79,6 +80,10 @@ class ServingFleet:
         self.metrics = MetricsCollector()
         self.trace = TraceLog(enabled=False)
         self.replacement_lags: list[float] = []
+        # Optional per-tenant token-bucket gateway (policies/fairshare.py):
+        # when set, every submit spends one bucket token for its tenant and
+        # over-rate arrivals shed at the gateway, before routing.
+        self.rate_limiter: Optional[TenantRateLimiter] = None
         # Let the router observe completions on every member (stateful
         # policies adapt without the fleet subclassing each system type).
         for i, member in enumerate(self.members):
@@ -123,13 +128,36 @@ class ServingFleet:
 
         Delivery goes through the member's ``_arrive`` path, so arrival
         accounting and degraded-mode shedding apply to fleet-routed traffic
-        exactly as they do to directly-loaded workloads.
+        exactly as they do to directly-loaded workloads.  With a
+        ``rate_limiter`` attached, an over-rate tenant's arrival sheds at
+        the gateway (recorded in the fleet's own metrics, so merged
+        conservation still balances) and ``-1`` is returned.
         """
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            request, self.sim.now
+        ):
+            self._gateway_shed(request)
+            return -1
         index = self.select_member(request)
         self.routed[index] += 1
         self._assignments[index].append(request)
         self.members[index]._arrive(request)
         return index
+
+    def _gateway_shed(self, request: Request) -> None:
+        """Drop an over-rate arrival before it reaches any member."""
+        request.phase = Phase.SHED
+        request.extra["shed_time"] = self.sim.now
+        self.metrics.record_shed(request)
+        self.metrics.bump("tenant_rate_limited")
+        self.metrics.bump(f"tenant_rate_limited[tenant:{request.tenant}]")
+        self.trace.emit(
+            self.sim.now,
+            "fleet",
+            "rate-limit-shed",
+            request_id=request.request_id,
+            tenant=request.tenant,
+        )
 
     # -- failure truth ---------------------------------------------------------
 
@@ -193,6 +221,8 @@ class ServingFleet:
             self.retried += 1
             self.retried_by_tier[request.tier] += 1
             destination = self.submit(request)
+            if destination < 0:
+                continue  # the retry shed at the rate-limit gateway
             if self.member_nodes(destination) != src_nodes:
                 self.cross_node_retries += 1
             self.trace.emit(
@@ -331,6 +361,12 @@ class ServingFleet:
     def policy_identity(self) -> tuple[tuple[str, str], ...]:
         """Non-baseline policy choices across the fleet (router + members)."""
         pairs = dict(policy_identity(router=self.policy))
+        if self.rate_limiter is not None:
+            # Gateway rate limiting sheds arrivals, so it is run identity.
+            pairs.setdefault(
+                "rate_limit",
+                f"{self.rate_limiter.rate:g}/{self.rate_limiter.burst:g}",
+            )
         for member in self.members:
             for kind, name in member.policy_identity():
                 pairs.setdefault(kind, name)

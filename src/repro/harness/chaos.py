@@ -39,9 +39,11 @@ from repro.serving.audit import audit_request
 from repro.serving.metrics import MetricsCollector
 from repro.serving.request import TIERS, Phase, Request
 from repro.serving.system import ServingSystem
+from repro.policies.fairshare import FairShareConfig, TenantRateLimiter
 from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
 from repro.workloads.prefixes import PrefixMix
+from repro.workloads.tenants import TenantMix
 from repro.workloads.trace import generate_trace
 
 DEFAULT_CHAOS_SYSTEMS = ("windserve", "distserve", "vllm")
@@ -70,12 +72,19 @@ class ChaosSpec:
     resilience: Optional[ResilienceConfig] = None
     # Degraded-mode admission policy (see repro.policies.admission).
     admission_policy: str = "nested-caps"
+    # Tenant population spec; None keeps the workload tenant-free.
+    tenant_mix: Optional[str] = None
+    # Fair-share knobs (weights/SRPT/aging/budgets) for ``fair-share`` runs.
+    fairshare: Optional[FairShareConfig] = None
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
 
     def parsed_prefix_mix(self) -> Optional[PrefixMix]:
         return PrefixMix.parse(self.prefix_mix) if self.prefix_mix else None
+
+    def parsed_tenant_mix(self) -> Optional[TenantMix]:
+        return TenantMix.parse(self.tenant_mix) if self.tenant_mix else None
 
     def experiment(self) -> ExperimentSpec:
         return ExperimentSpec(
@@ -91,6 +100,8 @@ class ChaosSpec:
             prefix_mix=self.prefix_mix,
             resilience=self.resilience,
             admission_policy=self.admission_policy,
+            tenant_mix=self.tenant_mix,
+            fairshare=self.fairshare,
         )
 
 
@@ -200,6 +211,34 @@ def chaos_tier_conservation(
     return problems
 
 
+def chaos_tenant_conservation(
+    submitted: Sequence[Request], completed: Sequence[Request], shed: Sequence[Request]
+) -> list[str]:
+    """No tenant's requests vanish or mutate: per-tenant submitted counts
+    equal per-tenant completed + shed, and every outcome carries the tenant
+    it was submitted with (a retry/requeue must never re-own a request)."""
+    problems = []
+    tenant_of = {r.request_id: r.tenant for r in submitted}
+    mutated = [
+        r.request_id
+        for r in list(completed) + list(shed)
+        if r.request_id in tenant_of and r.tenant != tenant_of[r.request_id]
+    ]
+    if mutated:
+        problems.append(f"requests changed tenant in flight: {sorted(mutated)[:5]}")
+    tenants = sorted({r.tenant for r in submitted})
+    for tenant in tenants:
+        n_submitted = sum(1 for r in submitted if r.tenant == tenant)
+        n_completed = sum(1 for r in completed if r.tenant == tenant)
+        n_shed = sum(1 for r in shed if r.tenant == tenant)
+        if n_submitted != n_completed + n_shed:
+            problems.append(
+                f"tenant {tenant!r} lost requests: submitted {n_submitted} != "
+                f"completed {n_completed} + shed {n_shed}"
+            )
+    return problems
+
+
 def chaos_tier_report(metrics: MetricsCollector, base_slo) -> dict:
     """Per-tier outcome summary against each tier's own scaled SLO."""
     return metrics.tier_report(tier_slos(base_slo))
@@ -247,6 +286,7 @@ def chaos_invariants(
     shed = system.metrics.shed
     problems = chaos_conservation(submitted, completed, shed)
     problems.extend(chaos_tier_conservation(submitted, completed, shed))
+    problems.extend(chaos_tenant_conservation(submitted, completed, shed))
     problems.extend(check_token_causality(completed))
     problems.extend(check_monotonic_times(completed))
     problems.extend(chaos_kv_lifecycle(system))
@@ -306,6 +346,7 @@ def run_chaos(
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
         prefix_mix=spec.parsed_prefix_mix(),
+        tenant_mix=spec.parsed_tenant_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)
@@ -399,12 +440,23 @@ class FleetChaosSpec:
     resilience: Optional[ResilienceConfig] = None
     # Degraded-mode admission policy applied to every member.
     admission_policy: str = "nested-caps"
+    # Tenant population spec; None keeps the workload tenant-free.
+    tenant_mix: Optional[str] = None
+    # Fair-share knobs applied to every member (with ``fair-share`` admission).
+    fairshare: Optional[FairShareConfig] = None
+    # Per-tenant gateway token-bucket: sustained submits/s and burst size.
+    # ``tenant_rate`` 0 disables the limiter.
+    tenant_rate: float = 0.0
+    tenant_burst: float = 0.0
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
 
     def parsed_prefix_mix(self) -> Optional[PrefixMix]:
         return PrefixMix.parse(self.prefix_mix) if self.prefix_mix else None
+
+    def parsed_tenant_mix(self) -> Optional[TenantMix]:
+        return TenantMix.parse(self.tenant_mix) if self.tenant_mix else None
 
 
 @dataclass
@@ -469,6 +521,7 @@ def build_chaos_fleet(spec: FleetChaosSpec):
         instance=InstanceConfig(prefix_cache_tokens=spec.prefix_cache_tokens),
         resilience=spec.resilience or ResilienceConfig(),
         admission_policy=spec.admission_policy,
+        fairshare=spec.fairshare,
     )
     fleet_factory = None
     if spec.standby:
@@ -491,7 +544,7 @@ def build_chaos_fleet(spec: FleetChaosSpec):
                 initially_active=members_total - spec.standby,
             )
 
-    return build_windserve_fleet(
+    fleet = build_windserve_fleet(
         config,
         cluster,
         pairs_per_node=spec.pairs_per_node,
@@ -499,6 +552,11 @@ def build_chaos_fleet(spec: FleetChaosSpec):
         span_nodes=spec.span_nodes,
         fleet_factory=fleet_factory,
     )
+    if spec.tenant_rate > 0:
+        fleet.rate_limiter = TenantRateLimiter(
+            rate=spec.tenant_rate, burst=spec.tenant_burst or None
+        )
+    return fleet
 
 
 def fleet_chaos_invariants(fleet, submitted: Sequence[Request]) -> list[str]:
@@ -506,6 +564,9 @@ def fleet_chaos_invariants(fleet, submitted: Sequence[Request]) -> list[str]:
     metrics = fleet.merged_metrics()
     problems = chaos_conservation(submitted, metrics.completed, metrics.shed)
     problems.extend(chaos_tier_conservation(submitted, metrics.completed, metrics.shed))
+    problems.extend(
+        chaos_tenant_conservation(submitted, metrics.completed, metrics.shed)
+    )
     problems.extend(check_token_causality(metrics.completed))
     problems.extend(check_monotonic_times(metrics.completed))
     for request in metrics.completed:
@@ -547,6 +608,7 @@ def run_fleet_chaos(spec: FleetChaosSpec) -> FleetChaosResult:
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
         prefix_mix=spec.parsed_prefix_mix(),
+        tenant_mix=spec.parsed_tenant_mix(),
     )
     submitted = clone_requests(workload_rows(workload))
     horizon = max(r.arrival_time for r in submitted)

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
 from repro.models.registry import get_model
 from repro.serving.audit import audit_system
-from repro.serving.request import DEFAULT_TIER, Request
+from repro.serving.request import DEFAULT_TENANT, DEFAULT_TIER, Request
 from repro.sim.fingerprint import digest_lines, canonical_json
 from repro.workloads.datasets import get_dataset
 from repro.workloads.trace import Trace, generate_trace
@@ -119,6 +119,8 @@ def workload_rows(trace: Trace) -> list[dict]:
         if r.prefix_len:
             row["prefix_hash"] = r.prefix_hash
             row["prefix_len"] = r.prefix_len
+        if r.tenant != DEFAULT_TENANT:
+            row["tenant"] = r.tenant
         rows.append(row)
     return rows
 
@@ -134,6 +136,7 @@ def clone_requests(rows: Sequence[dict]) -> list[Request]:
             tier=row.get("tier", DEFAULT_TIER),
             prefix_hash=row.get("prefix_hash", 0),
             prefix_len=row.get("prefix_len", 0),
+            tenant=row.get("tenant", DEFAULT_TENANT),
         )
         for row in rows
     ]

@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 from repro.faults.config import ResilienceConfig
 from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
+from repro.policies.fairshare import FairShareConfig
 from repro.models.registry import get_model
 from repro.workloads.arrivals import TierMix
 from repro.serving.instance import InstanceConfig
@@ -41,6 +42,7 @@ from repro.sim.fingerprint import (
 from repro.sim.trace import TraceLog
 from repro.workloads.datasets import get_dataset
 from repro.workloads.prefixes import PrefixMix
+from repro.workloads.tenants import TenantMix
 from repro.workloads.trace import generate_trace
 
 #: Default location of the golden store, relative to the repo root.
@@ -81,6 +83,8 @@ GOLDEN_TAGS = frozenset(
         # Automatic prefix caching: shortened prefills + cache publications.
         "prefix-hit",
         "prefix-insert",
+        # Fair-share tenancy: per-tenant budget enforcement decisions.
+        "budget-shed",
     }
 )
 
@@ -132,6 +136,29 @@ class GoldenScenario:
     # warm-prefix KV budget (0 keeps the cache off, the default behaviour).
     prefix_mix: Optional[str] = None
     prefix_cache_tokens: int = 0
+    # Tenancy cells: a tenant population plus fair-share knobs (used with
+    # ``admission_policy="fair-share"``); None/unset keeps runs tenant-free.
+    tenant_mix: Optional[str] = None
+    tenant_weights: Optional[str] = None
+    tenant_max_inflight: Optional[int] = None
+    tenant_max_tokens: Optional[int] = None
+
+    def fairshare_config(self) -> Optional[FairShareConfig]:
+        if (
+            self.tenant_weights is None
+            and self.tenant_max_inflight is None
+            and self.tenant_max_tokens is None
+        ):
+            return None
+        return FairShareConfig(
+            weights=(
+                FairShareConfig.parse_weights(self.tenant_weights)
+                if self.tenant_weights
+                else ()
+            ),
+            max_inflight=self.tenant_max_inflight,
+            max_tokens=self.tenant_max_tokens,
+        )
 
     def spec(self) -> ExperimentSpec:
         instance = InstanceConfig(prefix_cache_tokens=self.prefix_cache_tokens)
@@ -159,6 +186,8 @@ class GoldenScenario:
             prefix_mix=self.prefix_mix,
             resilience=resilience,
             admission_policy=self.admission_policy,
+            tenant_mix=self.tenant_mix,
+            fairshare=self.fairshare_config(),
         )
 
     def meta(self) -> dict:
@@ -197,6 +226,14 @@ class GoldenScenario:
             meta["prefix_mix"] = self.prefix_mix
         if self.prefix_cache_tokens:
             meta["prefix_cache_tokens"] = self.prefix_cache_tokens
+        if self.tenant_mix is not None:
+            meta["tenant_mix"] = self.tenant_mix
+        if self.tenant_weights is not None:
+            meta["tenant_weights"] = self.tenant_weights
+        if self.tenant_max_inflight is not None:
+            meta["tenant_max_inflight"] = self.tenant_max_inflight
+        if self.tenant_max_tokens is not None:
+            meta["tenant_max_tokens"] = self.tenant_max_tokens
         return meta
 
 
@@ -373,6 +410,24 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             prefix_cache_tokens=4096,
         )
     )
+    # Tenancy cell: a 1-heavy/2-light tenant mix over SLO tiers under
+    # fair-share admission with a tight per-tenant in-flight budget — pins
+    # the WFQ queue ordering, the per-tenant budget-shed decisions, the
+    # tenant-carrying request rows, and the tenants RNG stream.
+    cells.append(
+        GoldenScenario(
+            name="windserve-tenants-s14",
+            system="windserve",
+            rate_per_gpu=3.5,
+            seed=14,
+            num_requests=60,
+            admission_policy="fair-share",
+            tier_mix="interactive=0.25,standard=0.5,best_effort=0.25",
+            tenant_mix="acme=0.6,beta=0.2,gamma=0.2",
+            tenant_weights="acme=1,beta=3,gamma=3",
+            tenant_max_inflight=4,
+        )
+    )
     return tuple(cells)
 
 
@@ -414,6 +469,8 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         prefix_mix=scenario.prefix_mix,
         prefix_cache_tokens=scenario.prefix_cache_tokens,
         admission_policy=scenario.admission_policy,
+        tenant_mix=scenario.tenant_mix,
+        fairshare=scenario.fairshare_config(),
     )
     fleet = build_chaos_fleet(spec)
     golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)
@@ -433,6 +490,7 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         burstiness_cv=spec.burstiness_cv,
         tier_mix=spec.parsed_tier_mix(),
         prefix_mix=spec.parsed_prefix_mix(),
+        tenant_mix=spec.parsed_tenant_mix(),
     )
     horizon = max(r.arrival_time for r in workload)
     plan = build_fleet_fault_plan(spec.fault_plan, horizon, seed=spec.seed)
@@ -473,6 +531,9 @@ def run_scenario(scenario: GoldenScenario) -> GoldenRun:
         tier_mix=TierMix.parse(scenario.tier_mix) if scenario.tier_mix else None,
         prefix_mix=(
             PrefixMix.parse(scenario.prefix_mix) if scenario.prefix_mix else None
+        ),
+        tenant_mix=(
+            TenantMix.parse(scenario.tenant_mix) if scenario.tenant_mix else None
         ),
     )
     if scenario.fault_plan is not None:

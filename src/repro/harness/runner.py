@@ -25,9 +25,11 @@ from repro.serving.metrics import SLO, MetricsCollector
 from repro.serving.placement import plan_pd_placement
 from repro.serving.system import ServingSystem, SystemConfig
 from repro.harness.slo import derive_slo
+from repro.policies.fairshare import FairShareConfig
 from repro.workloads.arrivals import TierMix
 from repro.workloads.datasets import get_dataset
 from repro.workloads.prefixes import PrefixMix
+from repro.workloads.tenants import TenantMix
 from repro.workloads.trace import generate_trace
 
 SYSTEM_NAMES = (
@@ -65,6 +67,11 @@ class ExperimentSpec:
     # Shared-prefix population, e.g. "none=0.25,assistant=0.5:384,fewshot=0.25:640"
     prefix_mix: Optional[str] = None
     admission_policy: str = "nested-caps"  # see repro.policies.admission
+    # Tenant population, e.g. "acme=0.6,beta=0.25,gamma=0.15"
+    tenant_mix: Optional[str] = None
+    # Fair-share knobs (weights/SRPT/aging/budgets); used with
+    # ``admission_policy="fair-share"``.
+    fairshare: Optional[FairShareConfig] = None
 
     @property
     def prefill_cfg(self) -> ParallelConfig:
@@ -132,6 +139,7 @@ def build_system(spec: ExperimentSpec, slo: Optional[SLO] = None) -> ServingSyst
         decode_instance=spec.decode_instance_config,
         resilience=spec.resilience or ResilienceConfig(),
         admission_policy=spec.admission_policy,
+        fairshare=spec.fairshare,
     )
 
     if spec.system == "vllm":
@@ -172,6 +180,7 @@ def run_experiment(spec: ExperimentSpec, warmup_fraction: float = 0.05) -> Exper
         burstiness_cv=spec.burstiness_cv,
         tier_mix=TierMix.parse(spec.tier_mix) if spec.tier_mix else None,
         prefix_mix=PrefixMix.parse(spec.prefix_mix) if spec.prefix_mix else None,
+        tenant_mix=TenantMix.parse(spec.tenant_mix) if spec.tenant_mix else None,
     )
     metrics = system.run_to_completion(trace)
 

@@ -1,0 +1,448 @@
+"""Tenant isolation: fair-share vs FIFO-within-tier under a noisy neighbour.
+
+The differential question behind the fair-share subsystem: when one heavy
+tenant floods the system with a burst, do the light tenants keep their
+latency?  Three runs consume byte-identical cloned workloads (the
+differential harness's ``workload_rows``/``clone_requests`` discipline):
+
+1. **baseline** — the base mixed-tenant workload with no burst, under
+   fair-share.  Pins what the light tenants' P99 TTFT looks like when
+   nobody misbehaves.
+2. **fair-share** — the same workload plus a synthetic heavy-tenant burst,
+   under fair-share admission with per-tenant budgets.  The isolation
+   invariant: the light tenants' P99 TTFT must stay within
+   ``isolation_bound`` x the baseline.
+3. **fifo** — the identical burst workload under plain ``nested-caps``
+   (FIFO within each tier).  With no fair queueing and no budgets the
+   burst queues ahead of everyone in its tier; the same bound should be
+   *violated* — otherwise the experiment is not discriminating and the
+   verdict says so.
+
+Every run is audited: shed-aware request conservation, per-tenant
+conservation (no request changes owner), token causality, monotone
+timestamps, a fully drained system (work conservation), and — for the
+budgeted run — the ``tenant_peak_*`` watermark counters never exceed the
+configured budgets at any sim instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.harness.chaos import (
+    chaos_conservation,
+    chaos_tenant_conservation,
+)
+from repro.harness.differential import (
+    check_monotonic_times,
+    check_token_causality,
+    clone_requests,
+    workload_rows,
+)
+from repro.harness.runner import ExperimentSpec, build_system, resolve_slo
+from repro.harness.slo import tier_slos
+from repro.models.registry import get_model
+from repro.policies.fairshare import FairShareConfig
+from repro.sim.fingerprint import canonical_json, digest_lines
+from repro.workloads.datasets import get_dataset
+from repro.workloads.tenants import TenantMix
+from repro.workloads.trace import generate_trace
+
+#: The heavy tenant's name in the generated mix and the synthetic burst.
+HEAVY_TENANT = "heavy"
+
+#: Run labels (keys of ``TenantComparisonReport.runs``).
+BASELINE_RUN = "baseline"
+FAIRSHARE_RUN = "fair-share"
+FIFO_RUN = "fifo"
+
+
+@dataclass(frozen=True)
+class TenantComparisonSpec:
+    """One noisy-neighbour comparison point."""
+
+    model: str = "opt-13b"
+    dataset: str = "sharegpt"
+    rate_per_gpu: float = 3.0
+    num_requests: int = 160
+    seed: int = 0
+    #: Light tenants sharing the system with the one heavy tenant.
+    num_light: int = 2
+    #: Heavy tenant's share of the *base* (pre-burst) arrival mix.
+    heavy_share: float = 0.2
+    #: WFQ weight of each light tenant (the heavy tenant keeps weight 1).
+    light_weight: float = 4.0
+    #: Per-tenant concurrency budget enforced in the fair-share runs.
+    tenant_max_inflight: int = 8
+    #: Synthetic heavy-tenant burst riding on top of the base workload.
+    burst_requests: int = 48
+    burst_prompt_tokens: int = 1024
+    burst_output_tokens: int = 64
+    #: Burst arrivals start this fraction into the base workload's span
+    #: and are spread evenly over ``burst_window`` seconds.
+    burst_start_frac: float = 0.25
+    burst_window: float = 2.0
+    #: Isolation invariant: light P99 TTFT under the burst must stay
+    #: within this multiple of the no-burst baseline.
+    isolation_bound: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_light < 1:
+            raise ValueError("need at least one light tenant")
+        if not 0 < self.heavy_share < 1:
+            raise ValueError("heavy_share must be in (0, 1)")
+        if not self.isolation_bound >= 1:
+            raise ValueError("isolation_bound must be >= 1")
+        if not 0 <= self.burst_start_frac < 1:
+            raise ValueError("burst_start_frac must be in [0, 1)")
+
+    def light_tenants(self) -> tuple[str, ...]:
+        return tuple(f"light_{i}" for i in range(self.num_light))
+
+    def tenant_mix(self) -> TenantMix:
+        light_share = (1.0 - self.heavy_share) / self.num_light
+        weights = [(HEAVY_TENANT, self.heavy_share)]
+        weights.extend((name, light_share) for name in self.light_tenants())
+        return TenantMix(weights=tuple(weights))
+
+    def fairshare(self) -> FairShareConfig:
+        return FairShareConfig(
+            weights=tuple(
+                (name, self.light_weight) for name in self.light_tenants()
+            ),
+            max_inflight=self.tenant_max_inflight,
+        )
+
+    def experiment(self, admission_policy: str) -> ExperimentSpec:
+        return ExperimentSpec(
+            system="windserve",
+            model=self.model,
+            dataset=self.dataset,
+            rate_per_gpu=self.rate_per_gpu,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            admission_policy=admission_policy,
+            fairshare=(
+                self.fairshare() if admission_policy == "fair-share" else None
+            ),
+        )
+
+
+@dataclass
+class TenantRunResult:
+    """One admission discipline's run over the shared workload."""
+
+    name: str
+    admission: str
+    submitted: int
+    completed: int
+    shed: int
+    light_p99_ttft: float
+    light_mean_ttft: float
+    heavy_p99_ttft: float
+    budget_sheds: int
+    peak_inflight: dict[str, int]
+    tenant_report: dict
+    fingerprint: str
+    violations: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "admission": self.admission,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "light_p99_ttft": self.light_p99_ttft,
+            "light_mean_ttft": self.light_mean_ttft,
+            "heavy_p99_ttft": self.heavy_p99_ttft,
+            "budget_sheds": self.budget_sheds,
+            "peak_inflight": self.peak_inflight,
+            "tenant_report": self.tenant_report,
+            "fingerprint": self.fingerprint,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class TenantComparisonReport:
+    """All three runs plus the verdicts the CI smoke asserts on."""
+
+    spec: TenantComparisonSpec
+    workload_fingerprint: str
+    runs: dict[str, TenantRunResult]
+
+    @property
+    def isolation_holds(self) -> bool:
+        """Under fair-share, the burst stays within the isolation bound."""
+        base = self.runs.get(BASELINE_RUN)
+        fair = self.runs.get(FAIRSHARE_RUN)
+        if base is None or fair is None or not base.light_p99_ttft > 0:
+            return False
+        return (
+            fair.light_p99_ttft
+            <= self.spec.isolation_bound * base.light_p99_ttft
+        )
+
+    @property
+    def fifo_violates(self) -> bool:
+        """FIFO-within-tier breaks the same bound on the same workload.
+
+        This is the discriminating half of the experiment: if FIFO also
+        holds the bound, the point is too easy to claim fair-share earned
+        anything.
+        """
+        base = self.runs.get(BASELINE_RUN)
+        fifo = self.runs.get(FIFO_RUN)
+        if base is None or fifo is None or not base.light_p99_ttft > 0:
+            return False
+        return (
+            fifo.light_p99_ttft
+            > self.spec.isolation_bound * base.light_p99_ttft
+        )
+
+    @property
+    def fairshare_beats_fifo(self) -> bool:
+        fair = self.runs.get(FAIRSHARE_RUN)
+        fifo = self.runs.get(FIFO_RUN)
+        if fair is None or fifo is None:
+            return False
+        return fair.light_p99_ttft < fifo.light_p99_ttft
+
+    @property
+    def passed(self) -> bool:
+        """Every run's invariants held and the differential discriminated."""
+        return (
+            all(not run.violations for run in self.runs.values())
+            and self.isolation_holds
+            and self.fifo_violates
+            and self.fairshare_beats_fifo
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": {
+                "model": self.spec.model,
+                "dataset": self.spec.dataset,
+                "rate_per_gpu": self.spec.rate_per_gpu,
+                "num_requests": self.spec.num_requests,
+                "seed": self.spec.seed,
+                "num_light": self.spec.num_light,
+                "heavy_share": self.spec.heavy_share,
+                "light_weight": self.spec.light_weight,
+                "tenant_max_inflight": self.spec.tenant_max_inflight,
+                "burst_requests": self.spec.burst_requests,
+                "burst_prompt_tokens": self.spec.burst_prompt_tokens,
+                "burst_output_tokens": self.spec.burst_output_tokens,
+                "isolation_bound": self.spec.isolation_bound,
+            },
+            "workload_fingerprint": self.workload_fingerprint,
+            "runs": {name: run.as_dict() for name, run in self.runs.items()},
+            "isolation_holds": self.isolation_holds,
+            "fifo_violates": self.fifo_violates,
+            "fairshare_beats_fifo": self.fairshare_beats_fifo,
+            "passed": self.passed,
+        }
+
+    def report(self) -> str:
+        spec = self.spec
+        lines = [
+            f"tenant isolation run: {spec.num_requests} base + "
+            f"{spec.burst_requests} burst requests, seed={spec.seed}, "
+            f"bound={spec.isolation_bound:g}x, "
+            f"workload {self.workload_fingerprint[:12]}"
+        ]
+        for run in self.runs.values():
+            status = "ok" if not run.violations else "VIOLATED"
+            lines.append(
+                f"  [{status}] {run.name} ({run.admission}): "
+                f"light P99 TTFT {run.light_p99_ttft:.3f}s, "
+                f"{run.completed} completed, {run.shed} shed "
+                f"({run.budget_sheds} over budget)"
+            )
+            lines.extend(f"      {v}" for v in run.violations)
+        for label, value in (
+            ("isolation holds under fair-share", self.isolation_holds),
+            ("FIFO violates the same bound", self.fifo_violates),
+            ("fair-share beats FIFO on light P99", self.fairshare_beats_fifo),
+        ):
+            lines.append(f"  [{'ok' if value else 'FAILED'}] {label}")
+        return "\n".join(lines)
+
+
+# -- workload construction ----------------------------------------------------
+
+
+def burst_rows(spec: TenantComparisonSpec, base_rows: list[dict]) -> list[dict]:
+    """Synthetic heavy-tenant burst rows riding on top of the base trace.
+
+    Purely arithmetic (no RNG): ``burst_requests`` arrivals spread evenly
+    over ``burst_window`` seconds starting ``burst_start_frac`` into the
+    base workload's span, each a large prompt owned by the heavy tenant.
+    """
+    if not base_rows:
+        return []
+    next_id = max(row["id"] for row in base_rows) + 1
+    horizon = max(row["arrival"] for row in base_rows)
+    start = spec.burst_start_frac * horizon
+    step = spec.burst_window / max(1, spec.burst_requests)
+    return [
+        {
+            "id": next_id + i,
+            "arrival": start + i * step,
+            "prompt": spec.burst_prompt_tokens,
+            "output": spec.burst_output_tokens,
+            "tenant": HEAVY_TENANT,
+        }
+        for i in range(spec.burst_requests)
+    ]
+
+
+# -- invariants ---------------------------------------------------------------
+
+
+def check_drained(system) -> list[str]:
+    """Work conservation: the run ended with nothing stranded in a queue."""
+    problems = []
+    for instance in system.instances:
+        if instance.waiting:
+            problems.append(
+                f"{instance.name}: {len(instance.waiting)} requests stuck waiting"
+            )
+        if instance.total_running:
+            problems.append(
+                f"{instance.name}: {instance.total_running} requests stuck running"
+            )
+    return problems
+
+
+def check_budget_watermarks(system, config: FairShareConfig) -> list[str]:
+    """Budgets never exceeded at any sim instant, per the peak counters."""
+    problems = []
+    for key, peak in sorted(system.metrics.counters.items()):
+        if key.startswith("tenant_peak_inflight[") and config.max_inflight:
+            if peak > config.max_inflight:
+                problems.append(
+                    f"{key} = {peak} exceeds budget {config.max_inflight}"
+                )
+        if key.startswith("tenant_peak_tokens[") and config.max_tokens:
+            if peak > config.max_tokens:
+                problems.append(
+                    f"{key} = {peak} exceeds budget {config.max_tokens}"
+                )
+    return problems
+
+
+# -- the runner ---------------------------------------------------------------
+
+
+def _light_ttfts(completed, light: tuple[str, ...]) -> list[float]:
+    return [
+        r.ttft for r in completed if r.tenant in light and r.ttft is not None
+    ]
+
+
+def _p99(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(0.99 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_one_admission(
+    spec: TenantComparisonSpec,
+    name: str,
+    admission_policy: str,
+    rows: list[dict],
+    rng_registry=(),
+) -> TenantRunResult:
+    """Run one admission discipline over a cloned copy of the workload."""
+    experiment = spec.experiment(admission_policy)
+    system = build_system(experiment, resolve_slo(experiment))
+    submitted = clone_requests(rows)
+    metrics = system.run_to_completion(submitted)
+
+    violations = chaos_conservation(submitted, metrics.completed, metrics.shed)
+    violations.extend(
+        chaos_tenant_conservation(submitted, metrics.completed, metrics.shed)
+    )
+    violations.extend(check_token_causality(metrics.completed))
+    violations.extend(check_monotonic_times(metrics.completed))
+    violations.extend(check_drained(system))
+    if admission_policy == "fair-share":
+        violations.extend(check_budget_watermarks(system, spec.fairshare()))
+
+    light = spec.light_tenants()
+    light_ttfts = _light_ttfts(metrics.completed, light)
+    heavy_ttfts = [
+        r.ttft
+        for r in metrics.completed
+        if r.tenant == HEAVY_TENANT and r.ttft is not None
+    ]
+    slo = resolve_slo(experiment)
+    peak_inflight = {
+        key: value
+        for key, value in sorted(system.metrics.counters.items())
+        if key.startswith("tenant_peak_inflight[")
+    }
+    return TenantRunResult(
+        name=name,
+        admission=admission_policy,
+        submitted=len(submitted),
+        completed=len(metrics.completed),
+        shed=len(metrics.shed),
+        light_p99_ttft=_p99(light_ttfts),
+        light_mean_ttft=(
+            sum(light_ttfts) / len(light_ttfts) if light_ttfts else 0.0
+        ),
+        heavy_p99_ttft=_p99(heavy_ttfts),
+        budget_sheds=metrics.counters.get("tenant_budget_shed", 0),
+        peak_inflight=peak_inflight,
+        tenant_report=metrics.tenant_report(tier_slos(slo)),
+        fingerprint=system.run_fingerprint(rng_registry).value,
+        violations=violations,
+    )
+
+
+def run_tenant_comparison(
+    spec: Optional[TenantComparisonSpec] = None,
+) -> TenantComparisonReport:
+    """Run the three-way noisy-neighbour comparison on one workload.
+
+    The base trace is generated once; the burst rows are appended
+    deterministically; every run receives freshly cloned request objects.
+    """
+    spec = spec or TenantComparisonSpec()
+    probe = spec.experiment("fair-share")
+    workload = generate_trace(
+        get_dataset(spec.dataset),
+        rate=spec.rate_per_gpu * probe.gpus_used,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        model=get_model(spec.model),
+        tenant_mix=spec.tenant_mix(),
+    )
+    base_rows = workload_rows(workload)
+    burst = burst_rows(spec, base_rows)
+    with_burst = sorted(base_rows + burst, key=lambda row: (row["arrival"], row["id"]))
+
+    runs = {
+        BASELINE_RUN: run_one_admission(
+            spec, BASELINE_RUN, "fair-share", base_rows, workload.rng_registry
+        ),
+        FAIRSHARE_RUN: run_one_admission(
+            spec, FAIRSHARE_RUN, "fair-share", with_burst, workload.rng_registry
+        ),
+        FIFO_RUN: run_one_admission(
+            spec, FIFO_RUN, "nested-caps", with_burst, workload.rng_registry
+        ),
+    }
+    return TenantComparisonReport(
+        spec=spec,
+        workload_fingerprint=digest_lines(
+            canonical_json(row) for row in with_burst
+        ),
+        runs=runs,
+    )

@@ -13,6 +13,13 @@ from repro.policies.base import (
     policy_identity,
 )
 from repro.policies.admission import ADMISSION_POLICIES
+from repro.policies.fairshare import (
+    FairShareClock,
+    FairShareConfig,
+    FairShareQueue,
+    TenantRateLimiter,
+    TokenBucket,
+)
 from repro.policies.preemption import PREEMPTION_POLICIES
 from repro.policies.routing import ROUTING_POLICIES
 
@@ -22,8 +29,13 @@ __all__ = [
     "PREEMPTION_POLICIES",
     "ROUTING_POLICIES",
     "AdmissionPolicy",
+    "FairShareClock",
+    "FairShareConfig",
+    "FairShareQueue",
     "PolicyRegistry",
     "PreemptionPolicy",
     "RoutingPolicy",
+    "TenantRateLimiter",
+    "TokenBucket",
     "policy_identity",
 ]

@@ -177,11 +177,33 @@ class Instance:
         queued lower-tier work (never ahead of its own tier), so interactive
         traffic jumps best-effort backlogs while single-tier workloads keep
         the exact FCFS order the tier-free goldens pin down.
+
+        Fair-share admission stamps a WFQ virtual-time key into
+        ``extra["fs_key"]``; within an equal tier, a keyed request is
+        inserted ahead of keyed work with a strictly larger key (FIFO on
+        ties and against unkeyed work), so tenant fairness orders the
+        queue *inside* the tier bands without touching tier priority.
+        Key-free runs take the exact pre-existing path.
         """
         rank = TIER_PRIORITY[request.tier]
+        key = request.extra.get("fs_key")
         slot = len(self.waiting)
-        while slot > 0 and TIER_PRIORITY[self.waiting[slot - 1].tier] > rank:
-            slot -= 1
+        if key is None:
+            while slot > 0 and TIER_PRIORITY[self.waiting[slot - 1].tier] > rank:
+                slot -= 1
+        else:
+            while slot > 0:
+                ahead = self.waiting[slot - 1]
+                ahead_rank = TIER_PRIORITY[ahead.tier]
+                if ahead_rank > rank:
+                    slot -= 1
+                    continue
+                if ahead_rank == rank:
+                    ahead_key = ahead.extra.get("fs_key")
+                    if ahead_key is not None and ahead_key > key:
+                        slot -= 1
+                        continue
+                break
         if slot == len(self.waiting):
             self.waiting.append(request)
         else:

@@ -14,7 +14,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.serving.request import TIERS, Request
+from repro.serving.request import DEFAULT_TENANT, TIERS, Request
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -106,10 +106,15 @@ class MetricsCollector:
         self.completed.append(request)
 
     def record_shed(self, request: Request) -> None:
-        """Degraded-mode admission control rejected ``request``."""
+        """Admission control (or the rate-limit gateway) rejected ``request``."""
         self.shed.append(request)
         self.counters["requests_shed"] += 1
         self.counters[f"requests_shed[{request.tier}]"] += 1
+        # Tenant counters are namespaced with a ``tenant:`` marker so a
+        # tenant named after a tier can never collide with the tier keys,
+        # and only appear for tenant-carrying requests (goldens unchanged).
+        if request.tenant != DEFAULT_TENANT:
+            self.counters[f"requests_shed[tenant:{request.tenant}]"] += 1
 
     def record_fault_event(self, kind: str, target: str, time: float) -> None:
         """Log one fault-lifecycle event (crash/detect/recover/...)."""
@@ -127,7 +132,18 @@ class MetricsCollector:
         """
         self.completed.extend(other.completed)
         self.shed.extend(other.shed)
-        self.counters.update(other.counters)
+        for key, value in other.counters.items():
+            if key.startswith("tenant_peak_"):
+                # Watermark counters are point-in-time maxima; summing them
+                # across members would fabricate usage no instant ever saw.
+                # Namespace each member's watermark under its label (like
+                # utilization keys and fault targets) and fold unlabelled
+                # merges by max.
+                peak_key = f"{label}:{key}" if label else key
+                if value > self.counters.get(peak_key, 0):
+                    self.counters[peak_key] = value
+            else:
+                self.counters[key] += value
         for event in other.fault_events:
             target = f"{label}:{event['target']}" if label else event["target"]
             self.fault_events.append({**event, "target": target})
@@ -263,6 +279,84 @@ class MetricsCollector:
             }
             for tier in TIERS
         }
+
+    # -- per-tenant accounting -------------------------------------------------
+    #
+    # Tenants are an open-ended population (unlike the closed tier set), so
+    # tenant reports enumerate the tenants actually observed in outcomes.
+    # Each request is judged against its own *tier's* SLO — tenancy slices
+    # who the outcomes belong to, tiers still define what counts as met.
+
+    def tenants(self) -> list[str]:
+        """Tenant names observed in any outcome, sorted."""
+        names = {r.tenant for r in self.completed}
+        names.update(r.tenant for r in self.shed)
+        return sorted(names)
+
+    def completed_by_tenant(self) -> dict[str, int]:
+        counts = Counter(r.tenant for r in self.completed)
+        return {tenant: counts.get(tenant, 0) for tenant in self.tenants()}
+
+    def shed_by_tenant(self) -> dict[str, int]:
+        counts = Counter(r.tenant for r in self.shed)
+        return {tenant: counts.get(tenant, 0) for tenant in self.tenants()}
+
+    def tenant_ttft_stats(self) -> dict[str, LatencyStats]:
+        """Per-tenant TTFT percentile summaries over completions."""
+        by_tenant: dict[str, list[float]] = {}
+        for r in self.completed:
+            if r.ttft is not None:
+                by_tenant.setdefault(r.tenant, []).append(r.ttft)
+        return {
+            tenant: LatencyStats.from_values(values)
+            for tenant, values in sorted(by_tenant.items())
+        }
+
+    def tenant_goodput(self, slos: Mapping[str, "SLO"]) -> dict[str, int]:
+        """Per-tenant goodput: completions meeting their own tier's SLO."""
+        out: dict[str, int] = {tenant: 0 for tenant in self.tenants()}
+        for r in self.completed:
+            slo = slos.get(r.tier)
+            if slo is not None and slo.met_by(r):
+                out[r.tenant] += 1
+        return out
+
+    def tenant_attainment(
+        self, slos: Mapping[str, "SLO"], include_shed: bool = False
+    ) -> dict[str, float]:
+        """Per-tenant SLO attainment (requests judged by their tier's SLO).
+
+        With ``include_shed`` the denominator covers every resolved request
+        of the tenant — shed arrivals certainly missed their SLO.
+        """
+        goodput = self.tenant_goodput(slos)
+        completed = self.completed_by_tenant()
+        shed = self.shed_by_tenant()
+        out: dict[str, float] = {}
+        for tenant in self.tenants():
+            total = completed[tenant] + (shed[tenant] if include_shed else 0)
+            out[tenant] = goodput[tenant] / total if total else float("nan")
+        return out
+
+    def tenant_report(self, slos: Mapping[str, "SLO"]) -> dict[str, dict]:
+        """One nested dict per tenant: completed/shed/goodput/attainment/TTFT."""
+        completed = self.completed_by_tenant()
+        shed = self.shed_by_tenant()
+        goodput = self.tenant_goodput(slos)
+        attainment = self.tenant_attainment(slos)
+        ttft = self.tenant_ttft_stats()
+        report = {}
+        for tenant in self.tenants():
+            stats = ttft.get(tenant)
+            report[tenant] = {
+                "completed": completed[tenant],
+                "shed": shed[tenant],
+                "goodput": goodput[tenant],
+                "attainment": attainment[tenant],
+                "ttft_p50": stats.p50 if stats else float("nan"),
+                "ttft_p99": stats.p99 if stats else float("nan"),
+            }
+        return report
 
     # -- resilience ----------------------------------------------------------
 

@@ -36,6 +36,16 @@ DEFAULT_TIER = TIER_STANDARD
 TIER_PRIORITY: dict[str, int] = {tier: rank for rank, tier in enumerate(TIERS)}
 
 
+# -- tenants -------------------------------------------------------------------
+
+#: Tenant of every request that never declared one.  Tenancy is orthogonal
+#: to SLO tiers: a tier ranks *how urgent* a request is, a tenant records
+#: *whose* it is.  Tenant-free runs must behave — and serialise —
+#: byte-identically to pre-tenant recordings, so the default tenant is
+#: never written into traces, fingerprints, or golden rows.
+DEFAULT_TENANT = "default"
+
+
 def tier_ordered(requests):
     """Stable sort by SLO tier, highest priority first.
 
@@ -91,6 +101,10 @@ class Request:
     migration_count: int = 0
     dispatched_prefill: bool = False  # prefill ran on the decode instance
     tier: str = DEFAULT_TIER
+    # Owning tenant (workloads/tenants.py).  Free-form name; ``"default"``
+    # means the request never declared one and is omitted from traces and
+    # fingerprints so tenant-free runs stay byte-identical.
+    tenant: str = DEFAULT_TENANT
     # Shared-prefix identity (workloads/prefixes.py): a stable content hash
     # of the system-prompt/few-shot header this prompt starts with, and how
     # many leading prompt tokens it covers.  ``(0, 0)`` means no shared
@@ -107,6 +121,8 @@ class Request:
             raise ValueError("output must have at least one token")
         if self.tier not in TIER_PRIORITY:
             raise ValueError(f"unknown SLO tier {self.tier!r}; known: {TIERS}")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
         if self.prefill_required <= 0:
             self.prefill_required = self.prompt_tokens
         if not 0 <= self.prefix_len < self.prompt_tokens:

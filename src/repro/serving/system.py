@@ -18,9 +18,16 @@ from repro.kvcache.transfer import KVTransferEngine, RetryPolicy, TransferJob
 from repro.models.spec import ModelSpec
 from repro.policies.admission import ADMISSION_POLICIES
 from repro.policies.base import FINGERPRINT_BASELINES, policy_identity
+from repro.policies.fairshare import FairShareConfig
 from repro.serving.instance import Instance, InstanceConfig
 from repro.serving.metrics import SLO, MetricsCollector
-from repro.serving.request import DEFAULT_TIER, Phase, Request, tier_ordered
+from repro.serving.request import (
+    DEFAULT_TENANT,
+    DEFAULT_TIER,
+    Phase,
+    Request,
+    tier_ordered,
+)
 from repro.sim.engine import Simulator
 from repro.sim.fingerprint import RunFingerprint, fingerprint_run
 from repro.sim.trace import TraceLog
@@ -39,6 +46,9 @@ class SystemConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     # Degraded-mode admission policy name (see repro.policies.admission).
     admission_policy: str = "nested-caps"
+    # Fair-share discipline knobs (weights, SRPT bias, aging, per-tenant
+    # budgets); only consulted by the ``fair-share`` admission policy.
+    fairshare: Optional[FairShareConfig] = None
 
     @property
     def decode_instance_config(self) -> InstanceConfig:
@@ -82,6 +92,13 @@ class ServingSystem:
         self.submitted = 0
         # Per-tier arrival counts backing the nested degraded-mode caps.
         self._submitted_by_tier: dict[str, int] = {}
+        # Per-tenant in-flight ledger (count, prompt+output tokens) backing
+        # the fair-share budgets.  Bumped at arrival, released at finish /
+        # shed / forget — O(1) per request, so always-on costs nothing.
+        self._tenant_inflight: dict[str, int] = {}
+        self._tenant_tokens: dict[str, int] = {}
+        self._submitted_by_tenant: dict[str, int] = {}
+        self.finish_listeners.append(self._release_tenant_usage)
         self.halted = False
         # Scheduler-visible failure knowledge (filled at heartbeat
         # detection, cleared at recovery) — distinct from the ground-truth
@@ -205,6 +222,8 @@ class ServingSystem:
         request.decode_start = None
         self.metrics.bump("crash_requeued")
         self.metrics.bump(f"crash_requeued[{request.tier}]")
+        if request.tenant != DEFAULT_TENANT:
+            self.metrics.bump(f"crash_requeued[tenant:{request.tenant}]")
         self.trace.emit(
             self.sim.now, "resilience", "request-requeue", request_id=request.request_id
         )
@@ -231,15 +250,67 @@ class ServingSystem:
             in_flight[request.tier] = in_flight.get(request.tier, 0) - 1
         return in_flight
 
+    # -- per-tenant ledger ----------------------------------------------------
+
+    def tenant_usage(self, tenant: str) -> tuple[int, int]:
+        """(in-flight requests, in-flight prompt+output tokens) for a tenant."""
+        return (
+            self._tenant_inflight.get(tenant, 0),
+            self._tenant_tokens.get(tenant, 0),
+        )
+
+    def tenant_inflight(self) -> dict[str, int]:
+        """Unresolved request count per tenant (only non-zero entries)."""
+        return {t: n for t, n in self._tenant_inflight.items() if n}
+
+    def submitted_by_tenant(self) -> dict[str, int]:
+        """Total arrivals per tenant (conservation invariants read this)."""
+        return dict(self._submitted_by_tenant)
+
+    def _charge_tenant_usage(self, request: Request) -> None:
+        tenant = request.tenant
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
+        self._tenant_tokens[tenant] = (
+            self._tenant_tokens.get(tenant, 0)
+            + request.prompt_tokens
+            + request.output_tokens
+        )
+
+    def _release_tenant_usage(self, request: Request, instance=None) -> None:
+        tenant = request.tenant
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) - 1
+        self._tenant_tokens[tenant] = (
+            self._tenant_tokens.get(tenant, 0)
+            - request.prompt_tokens
+            - request.output_tokens
+        )
+
+    def _note_tenant_peaks(self, request: Request) -> None:
+        # Watermark counters back the "budgets never exceeded at any sim
+        # instant" machine check.  Only tenant-carrying runs record them,
+        # so tenant-free goldens keep their exact metric surfaces.
+        tenant = request.tenant
+        key = f"tenant_peak_inflight[tenant:{tenant}]"
+        current = self._tenant_inflight.get(tenant, 0)
+        if current > self.metrics.counters.get(key, 0):
+            self.metrics.counters[key] = current
+        key = f"tenant_peak_tokens[tenant:{tenant}]"
+        tokens = self._tenant_tokens.get(tenant, 0)
+        if tokens > self.metrics.counters.get(key, 0):
+            self.metrics.counters[key] = tokens
+
     def _shed(self, request: Request) -> None:
         request.phase = Phase.SHED
         request.extra["shed_time"] = self.sim.now
+        self._release_tenant_usage(request)
         self.metrics.record_shed(request)
-        # The tier rides along only when set: tier-free goldens stay
-        # byte-identical.
+        # The tier and tenant ride along only when set: tier- and
+        # tenant-free goldens stay byte-identical.
         payload = {"request_id": request.request_id}
         if request.tier != DEFAULT_TIER:
             payload["tier"] = request.tier
+        if request.tenant != DEFAULT_TENANT:
+            payload["tenant"] = request.tenant
         self.trace.emit(self.sim.now, "resilience", "request-shed", **payload)
 
     # -- failure injection -------------------------------------------------------
@@ -348,9 +419,17 @@ class ServingSystem:
         self._submitted_by_tier[request.tier] = (
             self._submitted_by_tier.get(request.tier, 0) + 1
         )
+        self._submitted_by_tenant[request.tenant] = (
+            self._submitted_by_tenant.get(request.tenant, 0) + 1
+        )
+        # The ledger includes the arriving request while admission runs, so
+        # budget policies compare with strict ``>`` (admit up to the cap).
+        self._charge_tenant_usage(request)
         if not self.admission.admit(self, request):
             self._shed(request)
             return
+        if request.tenant != DEFAULT_TENANT or self.config.fairshare is not None:
+            self._note_tenant_peaks(request)
         self.submit(request)
 
     def forget_arrival(self, request: Request) -> None:
@@ -364,6 +443,10 @@ class ServingSystem:
         self._submitted_by_tier[request.tier] = (
             self._submitted_by_tier.get(request.tier, 0) - 1
         )
+        self._submitted_by_tenant[request.tenant] = (
+            self._submitted_by_tenant.get(request.tenant, 0) - 1
+        )
+        self._release_tenant_usage(request)
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
@@ -401,6 +484,14 @@ class ServingSystem:
             prefix_cache=(
                 "+".join(str(t) for t in sorted(prefix_tokens))
                 if prefix_tokens
+                else None
+            ),
+            # Fair-share knobs change scheduling order and shed decisions,
+            # so a configured discipline is stamped; the default (None)
+            # serialises nothing, preserving old digests.
+            fair_share=(
+                self.config.fairshare.spec_string()
+                if self.config.fairshare is not None
                 else None
             ),
         )

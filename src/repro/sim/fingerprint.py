@@ -127,6 +127,11 @@ def fingerprint_records(records: Any) -> str:
 # the request's tier differs — tier-free fingerprints are unchanged.
 _DEFAULT_TIER = "standard"
 
+# Mirrors repro.serving.request.DEFAULT_TENANT (same layering rationale).
+# Rows only carry a tenant key when the request's tenant differs —
+# tenant-free fingerprints are unchanged.
+_DEFAULT_TENANT = "default"
+
 
 def request_row(request: Any) -> dict:
     """Final per-request metrics row (duck-typed over ``Request``)."""
@@ -154,6 +159,9 @@ def request_row(request: Any) -> dict:
     if prefix_len:
         row["prefix_hash"] = getattr(request, "prefix_hash", 0)
         row["prefix_len"] = prefix_len
+    tenant = getattr(request, "tenant", _DEFAULT_TENANT)
+    if tenant != _DEFAULT_TENANT:
+        row["tenant"] = tenant
     return row
 
 

@@ -10,6 +10,7 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.arrivals import gamma_arrivals, poisson_arrivals
 from repro.workloads.prefixes import PrefixEntry, PrefixLibrary, PrefixMix
+from repro.workloads.tenants import TenantMix
 from repro.workloads.trace import Trace, TraceStats, generate_trace
 from repro.workloads.shifts import WorkloadPhase, generate_shifting_trace
 
@@ -26,6 +27,7 @@ __all__ = [
     "PrefixEntry",
     "PrefixLibrary",
     "PrefixMix",
+    "TenantMix",
     "Trace",
     "TraceStats",
     "generate_trace",

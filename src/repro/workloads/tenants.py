@@ -1,0 +1,97 @@
+"""Tenant populations.
+
+A :class:`TenantMix` assigns each arriving request an owning tenant from a
+weighted population, deterministically on the dedicated ``"tenants"`` RNG
+stream.  Tenancy is orthogonal to SLO tiers: tiers rank *how urgent* a
+request is, tenants record *whose* it is — the fair-share admission policy
+(policies/fairshare.py) uses the tenant to enforce weighted queueing,
+budgets, and rate limits.
+
+Tenant names are free-form (unlike the closed tier set) so experiments can
+model any population shape — ``"heavy=1,light0=1,light1=1,light2=1"`` is
+the adversarial 1-heavy/N-light mix the isolation harness uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import DEFAULT_TENANT
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """A weighted mix of tenants assigned to arriving requests.
+
+    ``weights`` pairs tenant names with positive weights (any scale; they
+    are normalised when sampling).  The canonical text form —
+    ``"acme=0.6,beta=0.25,gamma=0.15"`` — round-trips through
+    :meth:`parse` / :meth:`spec_string` and is what the CLI ``--tenant-mix``
+    knob and the golden-scenario metadata carry.
+    """
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("a tenant mix needs at least one tenant")
+        seen = set()
+        for tenant, weight in self.weights:
+            if not tenant:
+                raise ValueError("tenant names must be non-empty")
+            if "=" in tenant or "," in tenant:
+                raise ValueError(
+                    f"tenant name {tenant!r} may not contain '=' or ','"
+                    " (reserved by the spec-string form)"
+                )
+            if tenant in seen:
+                raise ValueError(f"tenant {tenant!r} appears twice in the mix")
+            if not weight > 0:
+                raise ValueError(
+                    f"tenant {tenant!r} needs a positive weight, got {weight}"
+                )
+            seen.add(tenant)
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantMix":
+        """Parse ``"acme=0.6,beta=0.25,gamma=0.15"``."""
+        weights = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"cannot parse tenant-mix entry {part!r}; expected tenant=weight"
+                )
+            tenant, raw = part.split("=", 1)
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"tenant {tenant.strip()!r} has non-numeric weight {raw!r}"
+                )
+            weights.append((tenant.strip(), weight))
+        return cls(weights=tuple(weights))
+
+    def spec_string(self) -> str:
+        """The canonical text form (parse/spec_string round-trips)."""
+        return ",".join(f"{tenant}={weight:g}" for tenant, weight in self.weights)
+
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(tenant for tenant, _ in self.weights)
+
+    def probabilities(self) -> tuple[tuple[str, float], ...]:
+        total = sum(weight for _, weight in self.weights)
+        return tuple((tenant, weight / total) for tenant, weight in self.weights)
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[str]:
+        """Draw ``n`` tenant assignments (one RNG draw batch, deterministic)."""
+        probs = self.probabilities()
+        indices = rng.choice(len(probs), size=n, p=[p for _, p in probs])
+        return [probs[int(i)][0] for i in indices]
+
+
+__all__ = ["DEFAULT_TENANT", "TenantMix"]

@@ -10,11 +10,12 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.models.spec import ModelSpec
-from repro.serving.request import DEFAULT_TIER, Request
+from repro.serving.request import DEFAULT_TENANT, DEFAULT_TIER, Request
 from repro.sim.random import RandomStreams
 from repro.workloads.arrivals import TierMix, gamma_arrivals, poisson_arrivals
 from repro.workloads.datasets import DatasetProfile
 from repro.workloads.prefixes import PrefixMix
+from repro.workloads.tenants import TenantMix
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,9 @@ class Trace:
             if r.prefix_len:
                 row["prefix_hash"] = r.prefix_hash
                 row["prefix_len"] = r.prefix_len
+            # And the tenant: tenant-free traces stay byte-identical.
+            if r.tenant != DEFAULT_TENANT:
+                row["tenant"] = r.tenant
             rows.append(row)
         Path(path).write_text(json.dumps({"name": self.name, "rate": self.rate, "rows": rows}))
 
@@ -108,6 +112,7 @@ class Trace:
                 tier=row.get("tier", DEFAULT_TIER),
                 prefix_hash=row.get("prefix_hash", 0),
                 prefix_len=row.get("prefix_len", 0),
+                tenant=row.get("tenant", DEFAULT_TENANT),
             )
             for row in data["rows"]
         ]
@@ -125,6 +130,7 @@ def generate_trace(
     burstiness_cv: float = 2.0,
     tier_mix: Optional[TierMix] = None,
     prefix_mix: Optional[PrefixMix] = None,
+    tenant_mix: Optional[TenantMix] = None,
 ) -> Trace:
     """Sample an arrival trace from a dataset profile.
 
@@ -139,7 +145,10 @@ def generate_trace(
     pre-tier recordings.  A ``prefix_mix`` works the same way over the
     dedicated ``"prefix"`` stream: each request draws a shared-prefix
     assignment (``prefix_hash``/``prefix_len``), clamped so at least one
-    prompt token always remains to compute.
+    prompt token always remains to compute.  A ``tenant_mix`` assigns each
+    request an owning tenant from the dedicated ``"tenants"`` stream —
+    again only touched when a mix is given, keeping tenant-free traces
+    byte-identical to pre-tenant recordings.
     """
     streams = RandomStreams(seed)
     if arrival_process == "poisson":
@@ -158,6 +167,9 @@ def generate_trace(
     prefixes = None
     if prefix_mix is not None:
         prefixes = prefix_mix.sample(streams.get("prefix"), num_requests)
+    tenants = None
+    if tenant_mix is not None:
+        tenants = tenant_mix.sample(streams.get("tenants"), num_requests)
 
     requests = []
     for i in range(num_requests):
@@ -183,6 +195,7 @@ def generate_trace(
                 tier=tiers[i] if tiers is not None else DEFAULT_TIER,
                 prefix_hash=p_hash,
                 prefix_len=p_len,
+                tenant=tenants[i] if tenants is not None else DEFAULT_TENANT,
             )
         )
     trace = Trace(requests, rate=rate, name=f"{dataset.name}-r{rate:g}-n{num_requests}")

@@ -1,0 +1,130 @@
+"""Tenant isolation differential + per-tenant invariants and metrics.
+
+A small comparison cell must discriminate — fair-share holds the isolation
+bound the FIFO baseline violates — while every run keeps the shed-aware
+conservation, budget-watermark, and drained-system checks green.
+"""
+
+from __future__ import annotations
+
+from repro.harness.chaos import chaos_tenant_conservation
+from repro.harness.tenant_compare import (
+    BASELINE_RUN,
+    FAIRSHARE_RUN,
+    FIFO_RUN,
+    TenantComparisonSpec,
+    burst_rows,
+    run_tenant_comparison,
+)
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import Request
+
+
+def _small_spec(**overrides):
+    defaults = dict(num_requests=80, burst_requests=32, seed=0)
+    defaults.update(overrides)
+    return TenantComparisonSpec(**defaults)
+
+
+def test_comparison_discriminates_and_keeps_invariants():
+    report = run_tenant_comparison(_small_spec())
+    assert set(report.runs) == {BASELINE_RUN, FAIRSHARE_RUN, FIFO_RUN}
+    for name, run in report.runs.items():
+        assert not run.violations, f"{name}: {run.violations}"
+    assert report.isolation_holds, "fair-share broke the isolation bound"
+    assert report.fifo_violates, "FIFO held the bound: cell not discriminating"
+    assert report.fairshare_beats_fifo
+    assert report.passed
+    # Budgets actually bit in the fair-share burst run, and never in FIFO.
+    assert report.runs[FAIRSHARE_RUN].budget_sheds > 0
+    assert report.runs[FIFO_RUN].budget_sheds == 0
+
+
+def test_burst_rows_are_deterministic_and_heavy_owned():
+    spec = _small_spec()
+    base = [
+        {"id": i, "arrival": float(i), "prompt": 100, "output": 50}
+        for i in range(10)
+    ]
+    rows = burst_rows(spec, base)
+    assert rows == burst_rows(spec, base)
+    assert len(rows) == spec.burst_requests
+    assert all(row["tenant"] == "heavy" for row in rows)
+    assert min(row["id"] for row in rows) == 10  # continues after the base ids
+    arrivals = [row["arrival"] for row in rows]
+    assert arrivals == sorted(arrivals)
+    assert max(arrivals) - min(arrivals) <= spec.burst_window
+
+
+def test_report_serialises_to_json_payload():
+    report = run_tenant_comparison(_small_spec(num_requests=40, burst_requests=16))
+    payload = report.as_dict()
+    assert set(payload["runs"]) == {BASELINE_RUN, FAIRSHARE_RUN, FIFO_RUN}
+    for run in payload["runs"].values():
+        assert {"light_p99_ttft", "budget_sheds", "tenant_report"} <= set(run)
+    assert isinstance(payload["passed"], bool)
+
+
+# -- chaos_tenant_conservation unit -------------------------------------------
+
+
+def _request(rid, tenant):
+    return Request(
+        request_id=rid,
+        prompt_tokens=10,
+        output_tokens=5,
+        arrival_time=0.0,
+        tenant=tenant,
+    )
+
+
+def test_tenant_conservation_accepts_balanced_outcomes():
+    submitted = [_request(1, "a"), _request(2, "a"), _request(3, "b")]
+    completed = [submitted[0], submitted[2]]
+    shed = [submitted[1]]
+    assert chaos_tenant_conservation(submitted, completed, shed) == []
+
+
+def test_tenant_conservation_flags_lost_requests():
+    submitted = [_request(1, "a"), _request(2, "b")]
+    problems = chaos_tenant_conservation(submitted, [submitted[0]], [])
+    assert any("'b' lost requests" in p for p in problems)
+
+
+def test_tenant_conservation_flags_mutated_ownership():
+    submitted = [_request(1, "a")]
+    mutated = _request(1, "b")
+    problems = chaos_tenant_conservation(submitted, [mutated], [])
+    assert any("changed tenant" in p for p in problems)
+
+
+# -- per-tenant metrics merging -----------------------------------------------
+
+
+def test_merge_sums_tenant_counters_and_namespaces_peaks():
+    """Fleet merges must sum per-tenant tallies but *namespace* watermarks:
+    summing point-in-time maxima across members would fabricate usage no
+    instant ever saw."""
+    a, b = MetricsCollector(), MetricsCollector()
+    a.counters["tenant_budget_shed[tenant:acme]"] = 2
+    b.counters["tenant_budget_shed[tenant:acme]"] = 3
+    a.counters["tenant_peak_inflight[tenant:acme]"] = 4
+    b.counters["tenant_peak_inflight[tenant:acme]"] = 7
+
+    merged = MetricsCollector()
+    merged.merge_from(a, label="m0")
+    merged.merge_from(b, label="m1")
+    assert merged.counters["tenant_budget_shed[tenant:acme]"] == 5
+    assert merged.counters["m0:tenant_peak_inflight[tenant:acme]"] == 4
+    assert merged.counters["m1:tenant_peak_inflight[tenant:acme]"] == 7
+    assert "tenant_peak_inflight[tenant:acme]" not in merged.counters
+
+
+def test_unlabelled_merge_folds_peaks_by_max():
+    a, b = MetricsCollector(), MetricsCollector()
+    a.counters["tenant_peak_tokens[tenant:x]"] = 100
+    b.counters["tenant_peak_tokens[tenant:x]"] = 60
+    merged = MetricsCollector()
+    merged.merge_from(a)
+    merged.merge_from(b)
+    assert merged.counters["tenant_peak_tokens[tenant:x]"] == 100

@@ -89,7 +89,11 @@ class TestPolicyRegistry:
             "tier-aware",
             "prefix-affinity",
         }
-        assert set(ADMISSION_POLICIES.names()) == {"nested-caps", "preemptive"}
+        assert set(ADMISSION_POLICIES.names()) == {
+            "nested-caps",
+            "fair-share",
+            "preemptive",
+        }
         assert set(PREEMPTION_POLICIES.names()) == {"latest-arrived", "tier-aware"}
 
     def test_contains_and_factory_name(self):
