@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record golden-validate goldens-rerecord differential chaos policies prefix tenants clean
+.PHONY: install test bench bench-smoke bench-figures results examples golden-check golden-record golden-validate goldens-rerecord differential chaos policies prefix tenants hetero clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,13 @@ prefix:
 # the isolation bound that FIFO violates on the same workload bytes.
 tenants:
 	python -m repro tenants --smoke --out tenants_smoke.json
+
+# Heterogeneous fleets: seconds-based routing vs count-based, and
+# failure-reactive re-planning vs running degraded, on a mixed
+# A800+H100 fleet (see docs/heterogeneous-fleets.md).  Exits non-zero
+# unless both differentials hold and every chaos invariant passes.
+hetero:
+	python -m repro hetero --smoke --out hetero_smoke.json
 
 # Scale benchmark: records the next BENCH_<n>.json perf-trajectory point
 # (see docs/performance.md).  bench-smoke is the seconds-scale CI variant.

@@ -529,6 +529,78 @@ def cmd_prefix(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hetero(args: argparse.Namespace) -> int:
+    from repro.harness.hetero_compare import (
+        HeteroComparisonSpec,
+        run_hetero_comparison,
+    )
+
+    kwargs = dict(
+        model=args.model,
+        dataset=args.dataset,
+        rate_per_gpu=args.rate,
+        num_requests=args.requests,
+        seed=args.seed,
+        pairs_per_node=args.pairs_per_node,
+        fault_plan=args.fault_plan,
+    )
+    if args.shape:
+        kwargs["shape"] = args.shape
+    if args.smoke:
+        # One fast deterministic comparison point for CI (the default spec
+        # already runs in ~1s; the cap just keeps explicit larger --requests
+        # honest in smoke mode).
+        kwargs["num_requests"] = min(args.requests, 480)
+    try:
+        spec = HeteroComparisonSpec(**kwargs)
+        spec.parsed_shape()  # surface shape-spec errors as usage errors
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_hetero_comparison(spec)
+    payload = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [run.as_dict() for run in report.runs.values()]
+        for row in rows:
+            row.pop("violations", None)
+            row.pop("replans", None)
+            row["fingerprint"] = row["fingerprint"][:12]
+        print(format_table(rows, precision=4))
+    for name, run in report.runs.items():
+        for violation in run.violations:
+            print(f"[VIOLATED] {name}: {violation}", file=sys.stderr)
+    if not report.passed:
+        return 1
+    failed = False
+    if not report.routing_wins:
+        print(
+            "predicted-ttft did NOT beat least-loaded on mean TTFT on the "
+            "mixed fleet",
+            file=sys.stderr,
+        )
+        failed = True
+    if not report.replan_recovers:
+        print(
+            "failure-reactive re-planning did NOT recover SLO goodput >= "
+            "the degraded (no-replan) run",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        "\npredicted-ttft beats least-loaded on the mixed fleet, and "
+        "re-planning recovers at least the degraded run's SLO goodput; "
+        "all chaos invariants passed"
+    )
+    return 0
+
+
 def cmd_tenants(args: argparse.Namespace) -> int:
     from repro.harness.tenant_compare import (
         TenantComparisonSpec,
@@ -928,6 +1000,38 @@ def build_parser() -> argparse.ArgumentParser:
     prefix_p.add_argument("--out", default=None, help="write the JSON report here")
     prefix_p.add_argument("--json", action="store_true")
     prefix_p.set_defaults(func=cmd_prefix)
+
+    hetero_p = sub.add_parser(
+        "hetero",
+        help="heterogeneous-fleet differentials: seconds-based routing vs "
+        "count-based, and failure-reactive re-planning vs running degraded",
+    )
+    hetero_p.add_argument(
+        "--shape",
+        default=None,
+        metavar="SPEC",
+        help="fleet shape spec, e.g. 'a800:2,h100' (default: narrow A800 "
+        "pair beside an H100 pair; member 1 is the crash target)",
+    )
+    hetero_p.add_argument("--rate", type=float, default=3.0, help="per-GPU req/s")
+    hetero_p.add_argument("--requests", type=int, default=480)
+    hetero_p.add_argument("--seed", type=int, default=0)
+    hetero_p.add_argument("--model", default="opt-13b", choices=sorted(MODEL_REGISTRY))
+    hetero_p.add_argument(
+        "--dataset", default="sharegpt", choices=sorted(DATASET_REGISTRY)
+    )
+    hetero_p.add_argument("--pairs-per-node", type=int, default=1)
+    hetero_p.add_argument(
+        "--fault-plan",
+        default="member-crash",
+        help="fleet fault plan the re-planning arm runs under",
+    )
+    hetero_p.add_argument(
+        "--smoke", action="store_true", help="fast deterministic CI cell"
+    )
+    hetero_p.add_argument("--out", default=None, help="write the JSON report here")
+    hetero_p.add_argument("--json", action="store_true")
+    hetero_p.set_defaults(func=cmd_hetero)
 
     tenants_p = sub.add_parser(
         "tenants",

@@ -28,12 +28,25 @@ damage done by cold starts during ramps.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.fleet import ServingFleet, _member_load
+from repro.hardware.gpu import gpu_key
+from repro.serving.metrics import MetricsCollector
 from repro.serving.request import Request
 from repro.serving.system import ServingSystem
+
+
+class FleetShapeMismatch(RuntimeError):
+    """Replacement promotion found only differently-shaped standbys.
+
+    Promoting a standby whose hardware shape differs from the member it
+    replaces silently changes fleet capacity; it is allowed only when a
+    re-planner is attached (routing and re-planning handle unequal
+    hardware) or ``AutoscalerConfig.promote_mismatched`` opts in.
+    """
 
 
 @dataclass
@@ -47,6 +60,9 @@ class AutoscalerConfig:
     scale_in_load: float = 4.0
     scale_in_patience: int = 3  # consecutive low readings before scale-in
     replace_on_failure: bool = True  # promote standby when a member dies
+    # Allow a *replacement* promotion onto a standby whose hardware shape
+    # differs from the dead member's even without a re-planner attached.
+    promote_mismatched: bool = False
 
 
 @dataclass
@@ -80,8 +96,15 @@ class AutoscalingFleet(ServingFleet):
         self.events: list[ScalingEvent] = []
         self.active_member_time = 0.0  # integral of active members over time
         self.active_gpu_time = 0.0  # integral of active members' GPUs over time
+        # GPU-type-weighted billing: integral of active GPU-seconds per
+        # device registry key.  Mixed fleets bill an H100 hour as an H100
+        # hour, not a generic device hour.
+        self.gpu_type_time: Counter = Counter()
         self._last_accounting = 0.0
         self._heartbeat_scheduled = False
+        # Active routing candidates, memoised between membership /
+        # activation changes (the fleet phase's hot path).
+        self._active_cache: Optional[list[int]] = None
         # Replacement promotions in flight: started index -> detection time.
         self._replacing: dict[int, float] = {}
 
@@ -94,10 +117,17 @@ class AutoscalingFleet(ServingFleet):
     def _account(self) -> None:
         now = self.sim.now
         elapsed = now - self._last_accounting
+        if elapsed == 0.0:
+            return
         self.active_member_time += self.num_active * elapsed
-        self.active_gpu_time += elapsed * sum(
-            member.num_gpus for member, on in zip(self.members, self.active) if on
-        )
+        gpu_seconds = 0
+        for index, on in enumerate(self.active):
+            if not on:
+                continue
+            for key, count in self.member_gpu_counts(index).items():
+                self.gpu_type_time[key] += elapsed * count
+                gpu_seconds += count
+        self.active_gpu_time += elapsed * gpu_seconds
         self._last_accounting = now
 
     def gpu_hours_used(self) -> float:
@@ -105,12 +135,33 @@ class AutoscalingFleet(ServingFleet):
         self._account()
         return self.active_gpu_time
 
+    def gpu_hours_by_type(self) -> dict:
+        """Active GPU-seconds per device registry key (mixed-fleet billing)."""
+        self._account()
+        return dict(self.gpu_type_time)
+
+    def merged_metrics(self) -> MetricsCollector:
+        merged = super().merged_metrics()
+        # Counters are outside the fingerprint surface, so stamping the
+        # per-type bill is golden-safe.
+        self._account()
+        for key in sorted(self.gpu_type_time):
+            merged.counters[f"gpu_type_seconds[{key}]"] += self.gpu_type_time[key]
+        return merged
+
     # -- routing restricted to active members --------------------------------
 
+    def _invalidate_eligible(self) -> None:
+        super()._invalidate_eligible()
+        self._active_cache = None
+
     def select_member(self, request: Request) -> int:
-        candidates = [
-            i for i, on in enumerate(self.active) if on and i not in self.failed
-        ]
+        candidates = self._active_cache
+        if candidates is None:
+            candidates = [
+                i for i, on in enumerate(self.active) if on and i not in self.failed
+            ]
+            self._active_cache = candidates
         if not candidates:
             candidates = self.eligible_members()
         return self.router.select(self, candidates, request)
@@ -149,21 +200,51 @@ class AutoscalingFleet(ServingFleet):
         if in_flight > 0 or self.sim.pending_events > 1:
             self._ensure_heartbeat()
 
-    def _scale_out(self) -> Optional[int]:
-        """Start warming the first available standby; returns its index.
+    def _shape_key(self, index: int) -> tuple:
+        """A member's hardware shape: (gpu type, gpu count) per instance."""
+        return tuple(
+            (gpu_key(instance.gpu), len(instance.gpus))
+            for instance in self.members[index].instances
+        )
+
+    def _scale_out(self, replacing: Optional[int] = None) -> Optional[int]:
+        """Start warming an available standby; returns its index.
 
         Members declared dead are not standby capacity — scaling out into a
         failed member would route traffic straight back into the failure.
+        When ``replacing`` names the dead member being replaced, a standby
+        with the *same hardware shape* is preferred; promoting a
+        differently-shaped standby is an explicit
+        :class:`FleetShapeMismatch` error unless a re-planner is attached
+        (or ``promote_mismatched`` opts in) — mixed fleets must not
+        silently swap an H100 member for an RTX4090 one.
         """
-        for index, on in enumerate(self.active):
-            if not on and index not in self._starting and index not in self.failed:
-                self._starting.add(index)
-                self.events.append(
-                    ScalingEvent(self.sim.now, "scale-out", index, self.num_active)
+        standbys = [
+            index
+            for index, on in enumerate(self.active)
+            if not on and index not in self._starting and index not in self.failed
+        ]
+        if not standbys:
+            return None
+        choice = standbys[0]
+        if replacing is not None:
+            wanted = self._shape_key(replacing)
+            matched = [i for i in standbys if self._shape_key(i) == wanted]
+            if matched:
+                choice = matched[0]
+            elif self.replanner is None and not self.autoscaler.promote_mismatched:
+                raise FleetShapeMismatch(
+                    f"no standby matches the shape of failed member "
+                    f"{self.members[replacing].name} ({wanted}); available: "
+                    f"{[self._shape_key(i) for i in standbys]} — attach a "
+                    "re-planner or set promote_mismatched=True"
                 )
-                self.sim.schedule(self.autoscaler.startup_delay, self._member_ready, index)
-                return index
-        return None
+        self._starting.add(choice)
+        self.events.append(
+            ScalingEvent(self.sim.now, "scale-out", choice, self.num_active)
+        )
+        self.sim.schedule(self.autoscaler.startup_delay, self._member_ready, choice)
+        return choice
 
     def _member_ready(self, index: int) -> None:
         self._account()
@@ -176,6 +257,7 @@ class AutoscalingFleet(ServingFleet):
                 self._replacing[replacement] = detected_at
             return
         self.active[index] = True
+        self._invalidate_eligible()
         self.events.append(
             ScalingEvent(self.sim.now, "member-ready", index, self.num_active)
         )
@@ -199,6 +281,7 @@ class AutoscalingFleet(ServingFleet):
         victim = min(candidates, key=lambda i: _member_load(self.members[i]))
         self._account()
         self.active[victim] = False
+        self._invalidate_eligible()
         self.events.append(ScalingEvent(self.sim.now, "scale-in", victim, self.num_active))
 
     # -- failure reactions -------------------------------------------------------
@@ -208,13 +291,14 @@ class AutoscalingFleet(ServingFleet):
         self._account()
         was_active = self.active[index]
         self.active[index] = False
+        self._invalidate_eligible()
         self._starting.discard(index)
         self._replacing.pop(index, None)
         self.events.append(
             ScalingEvent(self.sim.now, "member-failed", index, self.num_active)
         )
         if was_active and self.autoscaler.replace_on_failure:
-            replacement = self._scale_out()
+            replacement = self._scale_out(replacing=index)
             if replacement is not None:
                 self._replacing[replacement] = self.sim.now
 

@@ -1,9 +1,171 @@
-"""WindServe policy configuration (the knobs described in §3 of the paper)."""
+"""WindServe policy configuration (the knobs described in §3 of the paper).
+
+Also home of the fleet-shape spec: :class:`MemberShape` /
+:class:`FleetShape` describe a (possibly heterogeneous) fleet one member at
+a time — GPU type from the :mod:`repro.hardware.gpu` registry plus the
+member's own prefill/decode parallelism — parsed from the same compact
+spec-string form the workload mixes use (``"h100:2,a800:4"``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.hardware.gpu import GPU_REGISTRY
+
+#: Short aliases accepted in shape spec strings, on top of the full
+#: registry keys ("a800-80gb", ...).
+GPU_ALIASES = {
+    "a800": "a800-80gb",
+    "a100": "a100-80gb",
+    "h100": "h100-80gb",
+    "rtx4090": "rtx-4090",
+    "4090": "rtx-4090",
+}
+
+#: The shape every pre-shape fleet implicitly had: the paper's testbed GPU
+#: with TP-2 prefill and TP-2 decode.  A fleet whose members all match this
+#: serialises nothing into the run fingerprint.
+DEFAULT_MEMBER = ("a800-80gb", (2, 1), (2, 1))
+
+
+def _resolve_gpu_key(token: str) -> str:
+    key = token.strip().lower()
+    key = GPU_ALIASES.get(key, key)
+    if key not in GPU_REGISTRY:
+        raise ValueError(
+            f"unknown GPU {token!r} in fleet shape; known: "
+            f"{sorted(GPU_REGISTRY)} (aliases: {sorted(GPU_ALIASES)})"
+        )
+    return key
+
+
+def _parse_parallel(token: str) -> tuple[tuple[int, int], tuple[int, int]]:
+    """``"2x1+2x1"`` -> ((prefill_tp, prefill_pp), (decode_tp, decode_pp))."""
+    try:
+        prefill_s, decode_s = token.split("+")
+        ptp, ppp = (int(x) for x in prefill_s.split("x"))
+        dtp, dpp = (int(x) for x in decode_s.split("x"))
+    except ValueError:
+        raise ValueError(
+            f"bad parallelism {token!r} in fleet shape "
+            "(expected '<ptp>x<ppp>+<dtp>x<dpp>', e.g. '2x1+2x1')"
+        ) from None
+    if min(ptp, ppp, dtp, dpp) < 1:
+        raise ValueError(f"parallelism degrees must be >= 1, got {token!r}")
+    return (ptp, ppp), (dtp, dpp)
+
+
+@dataclass(frozen=True)
+class MemberShape:
+    """One fleet member's hardware: GPU type + prefill/decode parallelism."""
+
+    gpu: str  # GPU_REGISTRY key
+    prefill_parallel: tuple[int, int] = (2, 1)  # (tp, pp)
+    decode_parallel: tuple[int, int] = (2, 1)
+
+    @property
+    def num_gpus(self) -> int:
+        return (
+            self.prefill_parallel[0] * self.prefill_parallel[1]
+            + self.decode_parallel[0] * self.decode_parallel[1]
+        )
+
+    @property
+    def is_default(self) -> bool:
+        return (self.gpu, self.prefill_parallel, self.decode_parallel) == DEFAULT_MEMBER
+
+    def parallel_string(self) -> str:
+        p, d = self.prefill_parallel, self.decode_parallel
+        return f"{p[0]}x{p[1]}+{d[0]}x{d[1]}"
+
+
+@dataclass(frozen=True)
+class FleetShape:
+    """An ordered tuple of member shapes (member ``i`` = ``members[i]``)."""
+
+    members: tuple[MemberShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a fleet shape needs at least one member")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FleetShape":
+        """Parse ``"<gpu>[:<count>][:<ptp>x<ppp>+<dtp>x<dpp>]"`` terms.
+
+        Examples: ``"h100:2,a800:4"`` (counts, default TP-2/TP-2 pairs),
+        ``"h100,a800"`` (one each), ``"h100:2:2x1+2x2"`` (explicit
+        per-member parallelism).
+        """
+        members: list[MemberShape] = []
+        for term in spec.split(","):
+            term = term.strip()
+            if not term:
+                raise ValueError(f"empty term in fleet shape {spec!r}")
+            parts = term.split(":")
+            if len(parts) > 3:
+                raise ValueError(
+                    f"bad fleet-shape term {term!r} "
+                    "(expected '<gpu>[:<count>][:<parallel>]')"
+                )
+            gpu = _resolve_gpu_key(parts[0])
+            count = 1
+            parallel = ((2, 1), (2, 1))
+            for part in parts[1:]:
+                if "x" in part or "+" in part:
+                    parallel = _parse_parallel(part)
+                else:
+                    try:
+                        count = int(part)
+                    except ValueError:
+                        raise ValueError(
+                            f"bad member count {part!r} in fleet shape {spec!r}"
+                        ) from None
+                    if count < 1:
+                        raise ValueError(f"member count must be >= 1, got {count}")
+            members.extend(
+                MemberShape(gpu, parallel[0], parallel[1]) for _ in range(count)
+            )
+        return cls(members=tuple(members))
+
+    def spec_string(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        terms: list[str] = []
+        run: Optional[MemberShape] = None
+        count = 0
+
+        def flush() -> None:
+            if run is None:
+                return
+            term = run.gpu
+            if count > 1:
+                term += f":{count}"
+            if (run.prefill_parallel, run.decode_parallel) != ((2, 1), (2, 1)):
+                term += f":{run.parallel_string()}"
+            terms.append(term)
+
+        for member in self.members:
+            if member == run:
+                count += 1
+            else:
+                flush()
+                run, count = member, 1
+        flush()
+        return ",".join(terms)
+
+    @property
+    def is_default(self) -> bool:
+        """True when every member matches the implicit pre-shape default."""
+        return all(m.is_default for m in self.members)
+
+    @property
+    def num_gpus(self) -> int:
+        return sum(m.num_gpus for m in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
 
 
 @dataclass(frozen=True)

@@ -25,11 +25,13 @@ crash + immediate detection.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.core.config import WindServeConfig
+from repro.core.config import FleetShape, WindServeConfig
 from repro.core.windserve import WindServeSystem
 from repro.hardware.cluster import ClusterTopology
+from repro.hardware.gpu import get_gpu, gpu_key
 from repro.models.parallelism import ParallelConfig
 from collections import Counter
 
@@ -71,6 +73,20 @@ class ServingFleet:
         self.failed: set[int] = set()
         # Ground *truth*: members actually down (set by crash_member).
         self.crashed: set[int] = set()
+        # Eligible-member cache: membership only changes at failure
+        # detection / rejoin / replan, so the per-submit recompute (the
+        # fleet phase's hottest line) is memoised between those events.
+        self._eligible_cache: Optional[list[int]] = None
+        # Heterogeneous-fleet identity: the FleetShape this fleet was built
+        # from (None for shape-less construction).  A non-default shape is
+        # stamped into the run fingerprint's policy identity.
+        self.shape: Optional[FleetShape] = None
+        # Failure-reactive re-planner (core.replan.FleetReplanner); fired
+        # from notice_member_failure before the dead member's work
+        # re-routes, so requeues land on the widened survivors.
+        self.replanner = None
+        self.replanned_members = 0
+        self.replan_requeues = 0
         self._assignments: dict[int, list[Request]] = {i: [] for i in range(len(members))}
         self.retried = 0
         self.retried_by_tier: Counter[str] = Counter()
@@ -114,8 +130,16 @@ class ServingFleet:
 
     # -- routing -------------------------------------------------------------
 
+    def _invalidate_eligible(self) -> None:
+        """Membership changed (failure/rejoin/replan): drop the cache."""
+        self._eligible_cache = None
+
     def eligible_members(self) -> list[int]:
-        alive = [i for i in range(len(self.members)) if i not in self.failed]
+        """Members the router may pick (cached; do not mutate the list)."""
+        alive = self._eligible_cache
+        if alive is None:
+            alive = [i for i in range(len(self.members)) if i not in self.failed]
+            self._eligible_cache = alive
         if not alive:
             raise RuntimeError("every fleet member has failed")
         return alive
@@ -196,6 +220,7 @@ class ServingFleet:
         if len(self.failed) + 1 >= len(self.members):
             raise RuntimeError("every fleet member would have failed")
         self.failed.add(index)
+        self._invalidate_eligible()
         self.router.observe_failure(self, index)
         member = self.members[index]
         self.metrics.record_fault_event("member-detect", member.name, self.sim.now)
@@ -204,6 +229,10 @@ class ServingFleet:
         # them so a later rejoin cannot re-run work we re-route now.
         for instance in member.instances:
             instance.sweep_waiting()
+        # Re-plan the survivors *before* re-routing the dead member's lost
+        # work, so the requeues land on the widened placements.
+        if self.replanner is not None:
+            self.replanner.on_member_failure(self, index)
         lost = [
             r
             for r in self._assignments[index]
@@ -273,6 +302,7 @@ class ServingFleet:
             self._assignments[index] = []
         self.crashed.discard(index)
         self.failed.discard(index)
+        self._invalidate_eligible()
         member.restart()
         self.metrics.record_fault_event("member-rejoin", member.name, self.sim.now)
         self.trace.emit(self.sim.now, "fleet", "member-rejoin", member=member.name)
@@ -283,6 +313,96 @@ class ServingFleet:
             self.retried += 1
             self.retried_by_tier[request.tier] += 1
             self.submit(request)
+
+    # -- failure-reactive re-planning ------------------------------------------
+
+    def replan_member(
+        self,
+        index: int,
+        placement: Placement,
+        prefill_gpu=None,
+        decode_gpu=None,
+    ) -> int:
+        """Rebuild a *surviving* member onto a new placement.
+
+        Conservation rides the existing crash-requeue path: the member
+        drains through ``crash()`` (KV freed, pools archived for the
+        freed-exactly-once audit), is rebuilt onto ``placement``, restarts,
+        and every unfinished request it held re-queues through the normal
+        tier-ordered retry — in-flight requests on *other* members are
+        untouched.  Returns the requeue count.
+        """
+        self._check_index(index)
+        if index in self.crashed or index in self.failed:
+            raise RuntimeError(f"member {index} is down; only survivors replan")
+        member = self.members[index]
+        if not hasattr(member, "rebuild_placement"):
+            raise RuntimeError(f"{member.name} does not support re-planning")
+        old_label = member.placement.label()
+        member.crash()
+        lost = [
+            r
+            for r in self._assignments[index]
+            if not r.finished and r.phase is not Phase.SHED
+        ]
+        self._assignments[index] = []
+        member.rebuild_placement(
+            placement, prefill_gpu=prefill_gpu, decode_gpu=decode_gpu
+        )
+        member.restart()
+        self.replanned_members += 1
+        self._invalidate_eligible()
+        self.metrics.record_fault_event("member-replan", member.name, self.sim.now)
+        self.trace.emit(
+            self.sim.now,
+            "fleet",
+            "member-replan",
+            member=member.name,
+            placement=placement.label(),
+        )
+        for request in tier_ordered(lost):
+            member.forget_arrival(request)
+            request.reset_for_retry()
+            self.retried += 1
+            self.retried_by_tier[request.tier] += 1
+            self.replan_requeues += 1
+            destination = self.submit(request)
+            if destination < 0:
+                continue  # the retry shed at the rate-limit gateway
+            self.trace.emit(
+                self.sim.now,
+                "fleet",
+                "request-requeue",
+                request_id=request.request_id,
+                member=self.members[destination].name,
+            )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "fleet",
+                "member-replan-done",
+                member=member.name,
+                from_placement=old_label,
+                requeued=len(lost),
+            )
+        return len(lost)
+
+    # -- heterogeneous accounting ----------------------------------------------
+
+    def member_gpu_counts(self, index: int) -> Counter:
+        """GPU count per registry key for one member (billing namespaces)."""
+        self._check_index(index)
+        counts: Counter[str] = Counter()
+        for instance in self.members[index].instances:
+            counts[gpu_key(instance.gpu)] += len(instance.gpus)
+        return counts
+
+    def gpu_counts_by_type(self) -> Counter:
+        """Fleet-wide GPU count per registry key (mixed fleets differ)."""
+        counts: Counter[str] = Counter()
+        for index in range(len(self.members)):
+            counts.update(self.member_gpu_counts(index))
+        return counts
 
     # -- autoscaler hooks -------------------------------------------------------
 
@@ -344,6 +464,8 @@ class ServingFleet:
             "requests_retried": self.retried,
             "requests_retried_by_tier": dict(self.retried_by_tier),
             "cross_node_retries": self.cross_node_retries,
+            "members_replanned": self.replanned_members,
+            "replan_requeues": self.replan_requeues,
             "member_detection_latency_s": (
                 sum(detect) / len(detect) if detect else 0.0
             ),
@@ -367,6 +489,14 @@ class ServingFleet:
                 "rate_limit",
                 f"{self.rate_limiter.rate:g}/{self.rate_limiter.burst:g}",
             )
+        # A non-default fleet shape changes hardware, hence behaviour, so
+        # it is run identity; the default (homogeneous A800 TP-2/TP-2, or
+        # no shape at all) serialises nothing — old goldens keep their
+        # digests.
+        if self.shape is not None and not self.shape.is_default:
+            pairs.setdefault("fleet_shape", self.shape.spec_string())
+        if self.replanner is not None:
+            pairs.setdefault("replan", self.replanner.identity())
         for member in self.members:
             for kind, name in member.policy_identity():
                 pairs.setdefault(kind, name)
@@ -394,9 +524,73 @@ class ServingFleet:
         return sum(m.num_gpus for m in self.members)
 
 
+def group_link_gbps(cluster: ClusterTopology, group: tuple[int, ...]) -> float:
+    """Worst pairwise path bottleneck inside a TP group, in GiB/s."""
+    worst = float("inf")
+    for i in range(len(group)):
+        for j in range(i + 1, len(group)):
+            path = cluster.path(group[i], group[j])
+            worst = min(worst, path.bottleneck_bytes_per_s / 1024**3)
+    return worst
+
+
+def parallel_with_link(
+    cluster: ClusterTopology, cfg: ParallelConfig, group: tuple[int, ...]
+) -> ParallelConfig:
+    """Bind a parallel config to its GPU group's real TP link bandwidth."""
+    if cfg.tp == 1:
+        return cfg
+    return ParallelConfig(
+        tp=cfg.tp,
+        pp=cfg.pp,
+        tp_link_gbps=group_link_gbps(cluster, group),
+        tp_efficiency=cfg.tp_efficiency,
+    )
+
+
+def cluster_for_shape(
+    shape: FleetShape,
+    pairs_per_node: int = 2,
+    gpus_per_node: int = 8,
+    nic_gbps: float = 12.5,
+) -> ClusterTopology:
+    """Build the (possibly heterogeneous) cluster a fleet shape needs.
+
+    Member ``i`` homes on node ``i // pairs_per_node``; every member homed
+    on one node must share a GPU type (``ClusterTopology`` models one
+    device type per node) and the node must fit their combined GPUs.
+    """
+    if pairs_per_node < 1:
+        raise ValueError("pairs_per_node must be >= 1")
+    num_nodes = (len(shape.members) + pairs_per_node - 1) // pairs_per_node
+    node_gpus = []
+    for node in range(num_nodes):
+        homed = shape.members[node * pairs_per_node : (node + 1) * pairs_per_node]
+        types = {m.gpu for m in homed}
+        if len(types) > 1:
+            raise ValueError(
+                f"node {node} mixes GPU types {sorted(types)}; members homed "
+                "on one node must share a type (reorder the shape or lower "
+                "pairs_per_node)"
+            )
+        needed = sum(m.num_gpus for m in homed)
+        if needed > gpus_per_node:
+            raise ValueError(
+                f"node {node} cannot host {needed} GPUs "
+                f"(gpus_per_node={gpus_per_node})"
+            )
+        node_gpus.append(get_gpu(homed[0].gpu))
+    return ClusterTopology(
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        nic_gbps=nic_gbps,
+        node_gpus=node_gpus,
+    )
+
+
 def build_windserve_fleet(
     config: SystemConfig,
-    cluster: ClusterTopology,
+    cluster: Optional[ClusterTopology] = None,
     prefill_parallel: ParallelConfig = ParallelConfig(tp=2),
     decode_parallel: ParallelConfig = ParallelConfig(tp=2),
     pairs_per_node: int = 2,
@@ -405,40 +599,45 @@ def build_windserve_fleet(
     system_factory: Optional[Callable[..., ServingSystem]] = None,
     span_nodes: bool = False,
     fleet_factory: Optional[Callable[..., "ServingFleet"]] = None,
+    shape: Optional[FleetShape] = None,
 ) -> ServingFleet:
     """Place one WindServe prefill/decode pair per slot across a cluster.
 
-    Each node hosts ``pairs_per_node`` independent pairs; all pairs share
-    the cluster's simulator and links.  ``system_factory`` swaps in a
-    different member system type (e.g. ``DistServeSystem``) for
-    comparisons.  With ``span_nodes``, pair ``p`` of node ``k`` keeps its
-    prefill instance on node ``k`` but places its decode instance on node
+    Without ``shape``, each node hosts ``pairs_per_node`` identical pairs
+    of ``prefill_parallel``/``decode_parallel`` members on ``config.gpu``
+    devices (the original homogeneous layout, byte-identical to pre-shape
+    runs).  With a :class:`~repro.core.config.FleetShape`, member ``i``
+    takes its *own* GPU type and parallelism from ``shape.members[i]`` and
+    homes on node ``i // pairs_per_node``; ``cluster`` may then be omitted
+    (one is derived via :func:`cluster_for_shape`) or must match the
+    shape's per-node GPU types.
+
+    All pairs share the cluster's simulator and links.  ``system_factory``
+    swaps in a different member system type (e.g. ``DistServeSystem``) for
+    comparisons.  With ``span_nodes``, a member keeps its prefill instance
+    on its home node ``k`` but places its decode instance on node
     ``(k+1) % num_nodes`` — every KV hand-off then crosses the RDMA NICs,
     which is what makes ``nic:<k>`` fault targets bite.  ``fleet_factory``
     wraps the members in a fleet subclass (e.g. ``AutoscalingFleet``).
     """
+    if shape is not None:
+        return _build_shaped_fleet(
+            config,
+            shape,
+            cluster=cluster,
+            pairs_per_node=pairs_per_node,
+            policy=policy,
+            ws_config=ws_config,
+            system_factory=system_factory,
+            span_nodes=span_nodes,
+            fleet_factory=fleet_factory,
+        )
+    if cluster is None:
+        raise ValueError("a shape-less fleet needs an explicit cluster")
     sim = Simulator()
     members: list[ServingSystem] = []
     gpus_needed = prefill_parallel.num_gpus + decode_parallel.num_gpus
     factory = system_factory or WindServeSystem
-
-    def _group_link_gbps(group: tuple[int, ...]) -> float:
-        worst = float("inf")
-        for i in range(len(group)):
-            for j in range(i + 1, len(group)):
-                path = cluster.path(group[i], group[j])
-                worst = min(worst, path.bottleneck_bytes_per_s / 1024**3)
-        return worst
-
-    def _with_link(cfg: ParallelConfig, group: tuple[int, ...]) -> ParallelConfig:
-        if cfg.tp == 1:
-            return cfg
-        return ParallelConfig(
-            tp=cfg.tp,
-            pp=cfg.pp,
-            tp_link_gbps=_group_link_gbps(group),
-            tp_efficiency=cfg.tp_efficiency,
-        )
 
     def _slots(node: int, start_local: int, count: int) -> tuple[int, ...]:
         base = node * cluster.gpus_per_node
@@ -473,8 +672,12 @@ def build_windserve_fleet(
             placement = Placement(
                 prefill_gpus=prefill_gpus,
                 decode_gpus=decode_gpus,
-                prefill_parallel=_with_link(prefill_parallel, prefill_gpus),
-                decode_parallel=_with_link(decode_parallel, decode_gpus),
+                prefill_parallel=parallel_with_link(
+                    cluster, prefill_parallel, prefill_gpus
+                ),
+                decode_parallel=parallel_with_link(
+                    cluster, decode_parallel, decode_gpus
+                ),
             )
             kwargs = {}
             if factory is WindServeSystem:
@@ -486,3 +689,116 @@ def build_windserve_fleet(
             members.append(member)
     build_fleet = fleet_factory or ServingFleet
     return build_fleet(members, policy=policy)
+
+
+def _build_shaped_fleet(
+    config: SystemConfig,
+    shape: FleetShape,
+    cluster: Optional[ClusterTopology] = None,
+    pairs_per_node: int = 2,
+    policy: str = "predicted-ttft",
+    ws_config: Optional[WindServeConfig] = None,
+    system_factory: Optional[Callable[..., ServingSystem]] = None,
+    span_nodes: bool = False,
+    fleet_factory: Optional[Callable[..., "ServingFleet"]] = None,
+) -> ServingFleet:
+    """The heterogeneous layout: per-member GPU types and placements."""
+    if cluster is None:
+        cluster = cluster_for_shape(shape, pairs_per_node=pairs_per_node)
+    num_nodes = cluster.num_nodes
+    if len(shape.members) > num_nodes * pairs_per_node:
+        raise ValueError(
+            f"cluster has {num_nodes} nodes x {pairs_per_node} slots; "
+            f"shape has {len(shape.members)} members"
+        )
+    sim = Simulator()
+    factory = system_factory or WindServeSystem
+    home_node = [i // pairs_per_node for i in range(len(shape.members))]
+    # Per-node prefill-block sizes (span mode packs every home prefill at
+    # the front of its node; decode blocks stack behind the *next* node's
+    # prefill block, generalising the uniform-shape offset math).
+    prefill_total = [0] * num_nodes
+    for i, member_shape in enumerate(shape.members):
+        p_tp, p_pp = member_shape.prefill_parallel
+        prefill_total[home_node[i]] += p_tp * p_pp
+    # Per-node allocation cursors.
+    used = [0] * num_nodes
+    decode_used = [0] * num_nodes  # span mode: decode GPUs landed per node
+    if span_nodes:
+        used = list(prefill_total)
+
+    def _claim(node: int, count: int, label: str) -> tuple[int, ...]:
+        start = used[node]
+        if start + count > cluster.gpus_per_node:
+            raise ValueError(
+                f"node {node} cannot host the shape's {label} block "
+                f"({start + count} > {cluster.gpus_per_node} GPUs)"
+            )
+        used[node] += count
+        base = node * cluster.gpus_per_node
+        return tuple(range(base + start, base + start + count))
+
+    members: list[ServingSystem] = []
+    prefill_cursor = [0] * num_nodes
+    for i, member_shape in enumerate(shape.members):
+        node = home_node[i]
+        gpu_spec = get_gpu(member_shape.gpu)
+        if cluster.gpu_spec_of(node * cluster.gpus_per_node) != gpu_spec:
+            raise ValueError(
+                f"member {i} wants {member_shape.gpu} but node {node} "
+                f"hosts {cluster.gpu_spec_of(node * cluster.gpus_per_node).name}"
+            )
+        p_cfg = ParallelConfig(
+            tp=member_shape.prefill_parallel[0], pp=member_shape.prefill_parallel[1]
+        )
+        d_cfg = ParallelConfig(
+            tp=member_shape.decode_parallel[0], pp=member_shape.decode_parallel[1]
+        )
+        decode_spec = gpu_spec
+        if span_nodes:
+            decode_node = (node + 1) % num_nodes
+            base = node * cluster.gpus_per_node
+            start = prefill_cursor[node]
+            if start + p_cfg.num_gpus > prefill_total[node]:
+                raise ValueError(f"node {node} prefill block overflow")
+            prefill_gpus = tuple(range(base + start, base + start + p_cfg.num_gpus))
+            prefill_cursor[node] += p_cfg.num_gpus
+            d_base = decode_node * cluster.gpus_per_node
+            d_start = prefill_total[decode_node] + decode_used[decode_node]
+            if d_start + d_cfg.num_gpus > cluster.gpus_per_node:
+                raise ValueError(
+                    f"node {decode_node} cannot host member {i}'s decode "
+                    f"block ({d_start + d_cfg.num_gpus} > "
+                    f"{cluster.gpus_per_node} GPUs)"
+                )
+            decode_gpus = tuple(
+                range(d_base + d_start, d_base + d_start + d_cfg.num_gpus)
+            )
+            decode_used[decode_node] += d_cfg.num_gpus
+            decode_spec = cluster.gpu_spec_of(decode_gpus[0])
+        else:
+            prefill_gpus = _claim(node, p_cfg.num_gpus, f"member {i} prefill")
+            decode_gpus = _claim(node, d_cfg.num_gpus, f"member {i} decode")
+        placement = Placement(
+            prefill_gpus=prefill_gpus,
+            decode_gpus=decode_gpus,
+            prefill_parallel=parallel_with_link(cluster, p_cfg, prefill_gpus),
+            decode_parallel=parallel_with_link(cluster, d_cfg, decode_gpus),
+        )
+        member_config = replace(config, gpu=gpu_spec)
+        kwargs = {}
+        if factory is WindServeSystem:
+            kwargs["ws_config"] = ws_config
+            if decode_spec != gpu_spec:
+                kwargs["decode_gpu"] = decode_spec
+        member = factory(
+            member_config, placement=placement, topology=cluster, sim=sim, **kwargs
+        )
+        member.name = (
+            f"{getattr(factory, 'name', 'member')}-{node}.{i % pairs_per_node}"
+        )
+        members.append(member)
+    build_fleet = fleet_factory or ServingFleet
+    fleet = build_fleet(members, policy=policy)
+    fleet.shape = shape
+    return fleet

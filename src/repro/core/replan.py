@@ -1,0 +1,217 @@
+"""Failure-reactive TP/PP re-planning (ROADMAP: fleet re-planning).
+
+When the fleet's heartbeat sweep declares a member dead, the survivors are
+suddenly over-subscribed — and on a heterogeneous fleet the lost capacity
+may be the *fast* kind (trade a lost H100 for two surviving A800s).  The
+:class:`FleetReplanner` reacts by widening surviving members onto their
+home node's spare (never-assigned) GPUs: it re-runs the placement search
+over each survivor's aggregate GPU budget, picks a strictly-wider
+placement, and rebuilds the member through
+:meth:`~repro.core.fleet.ServingFleet.replan_member` — which drains and
+re-queues the member's in-flight work through the existing crash-requeue
+path, so conservation invariants hold by construction.
+
+Dead members' GPUs are deliberately **never** reclaimed: a crashed member
+rejoins with its original placement once its fault window closes, so only
+spare slots on the survivors' own home nodes are up for grabs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.models.parallelism import ParallelConfig
+from repro.serving.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fleet import ServingFleet
+
+#: (prefill (tp, pp), decode (tp, pp)) shapes the re-planner may widen to.
+#: Mirrors harness.placement_search.DEFAULT_CANDIDATES (kept literal here
+#: so the core layer does not import the harness outside search mode).
+DEFAULT_REPLAN_CANDIDATES: tuple[tuple[tuple[int, int], tuple[int, int]], ...] = (
+    ((1, 1), (1, 1)),
+    ((2, 1), (1, 1)),
+    ((1, 1), (2, 1)),
+    ((2, 1), (2, 1)),
+    ((2, 2), (2, 1)),
+    ((2, 1), (2, 2)),
+    ((2, 2), (2, 2)),
+)
+
+
+@dataclass(frozen=True)
+class ReplanConfig:
+    """Knobs of the failure-reactive re-planner."""
+
+    #: Survivors widened per failure (slowest hardware first).
+    max_members: int = 1
+    #: Candidate (prefill, decode) parallelism shapes.
+    candidates: tuple = DEFAULT_REPLAN_CANDIDATES
+    #: Rank candidates by short simulation (harness.placement_search)
+    #: instead of the analytic widest-fit ordering.  Costs a nested
+    #: simulation per replan, so it is off by default.
+    search: bool = False
+    search_requests: int = 60
+    search_dataset: str = "sharegpt"
+    search_model: str = "opt-13b"
+    search_rate_per_gpu: float = 3.0
+
+
+class FleetReplanner:
+    """Widens surviving members over spare GPUs when a member dies."""
+
+    def __init__(self, config: Optional[ReplanConfig] = None) -> None:
+        self.config = config or ReplanConfig()
+        #: One record per executed replan (time, member, placements).
+        self.replans: list[dict] = []
+
+    def identity(self) -> str:
+        """Fingerprint identity of this replanner's decision procedure."""
+        return "search" if self.config.search else "greedy"
+
+    # -- the reaction ---------------------------------------------------------
+
+    def on_member_failure(self, fleet: "ServingFleet", dead_index: int) -> None:
+        """Re-plan up to ``max_members`` survivors onto spare home GPUs."""
+        from repro.core.fleet import parallel_with_link
+
+        cluster = fleet.cluster
+        if cluster is None:
+            return
+        # GPUs owned by *any* member — including dead ones, which rejoin
+        # with their original placement when their fault window closes.
+        owned: set[int] = set()
+        for member in fleet.members:
+            for instance in member.instances:
+                owned.update(instance.gpus)
+        survivors = [
+            i
+            for i in range(len(fleet.members))
+            if i not in fleet.failed and i not in fleet.crashed
+        ]
+        # Slowest prefill hardware first: widening an A800 member recovers
+        # more of the lost H100's capacity than widening another H100.
+        survivors.sort(
+            key=lambda i: (
+                fleet.members[i].instances[0].gpu.effective_flops
+                if fleet.members[i].instances
+                else float("inf"),
+                i,
+            )
+        )
+        replanned = 0
+        for index in survivors:
+            if replanned >= self.config.max_members:
+                break
+            member = fleet.members[index]
+            if not hasattr(member, "rebuild_placement"):
+                continue
+            nodes = fleet.member_nodes(index)
+            if len(nodes) != 1:
+                continue  # span-node members keep their placement
+            node = next(iter(nodes))
+            base = node * cluster.gpus_per_node
+            spare = [
+                g for g in range(base, base + cluster.gpus_per_node) if g not in owned
+            ]
+            if not spare:
+                continue
+            own = sorted(g for inst in member.instances for g in inst.gpus)
+            choice = self._choose(member, budget=len(own) + len(spare))
+            if choice is None:
+                continue
+            p_par, d_par = choice
+            total = p_par[0] * p_par[1] + d_par[0] * d_par[1]
+            slots = sorted(own + spare)[:total]
+            prefill_gpus = tuple(slots[: p_par[0] * p_par[1]])
+            decode_gpus = tuple(slots[p_par[0] * p_par[1] :])
+            p_cfg = ParallelConfig(tp=p_par[0], pp=p_par[1])
+            d_cfg = ParallelConfig(tp=d_par[0], pp=d_par[1])
+            placement = Placement(
+                prefill_gpus=prefill_gpus,
+                decode_gpus=decode_gpus,
+                prefill_parallel=parallel_with_link(cluster, p_cfg, prefill_gpus),
+                decode_parallel=parallel_with_link(cluster, d_cfg, decode_gpus),
+            )
+            old_label = member.placement.label()
+            requeued = fleet.replan_member(index, placement)
+            owned.update(slots)
+            replanned += 1
+            self.replans.append(
+                {
+                    "time": fleet.sim.now,
+                    "member": member.name,
+                    "trigger": fleet.members[dead_index].name,
+                    "from": old_label,
+                    "to": placement.label(),
+                    "requeued": requeued,
+                }
+            )
+
+    # -- candidate choice -----------------------------------------------------
+
+    def _eligible_candidates(
+        self, member, budget: int
+    ) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+        """Strictly-wider candidates that fit the budget and never shrink
+        either instance (per-instance memory never drops, so the model
+        keeps fitting without a trial construction)."""
+        cur_p = member.placement.prefill_parallel.num_gpus
+        cur_d = member.placement.decode_parallel.num_gpus
+        out = []
+        for p_par, d_par in self.config.candidates:
+            p = p_par[0] * p_par[1]
+            d = d_par[0] * d_par[1]
+            if p + d > budget or p < cur_p or d < cur_d or p + d <= cur_p + cur_d:
+                continue
+            out.append((p_par, d_par))
+        return out
+
+    def _choose(
+        self, member, budget: int
+    ) -> Optional[tuple[tuple[int, int], tuple[int, int]]]:
+        eligible = self._eligible_candidates(member, budget)
+        if not eligible:
+            return None
+        if self.config.search:
+            ranked = self._search_rank(member, budget, eligible)
+            if ranked is not None:
+                return ranked
+        # Analytic greedy: widest total, then decode-heavy (decode is the
+        # IO-bound side that absorbs the re-routed backlog), then prefill.
+        return max(
+            eligible,
+            key=lambda c: (
+                c[0][0] * c[0][1] + c[1][0] * c[1][1],
+                c[1][0] * c[1][1],
+                c[0][0] * c[0][1],
+            ),
+        )
+
+    def _search_rank(
+        self, member, budget: int, eligible: Sequence
+    ) -> Optional[tuple[tuple[int, int], tuple[int, int]]]:
+        """Rank the eligible candidates by short simulation."""
+        from repro.harness.placement_search import search_placement
+        from repro.harness.runner import SYSTEM_NAMES
+
+        cfg = self.config
+        system = type(member).name
+        if system not in SYSTEM_NAMES:
+            system = "windserve"
+        scores = search_placement(
+            system,
+            cfg.search_model,
+            cfg.search_dataset,
+            cfg.search_rate_per_gpu,
+            candidates=list(eligible),
+            num_requests=cfg.search_requests,
+            num_node_gpus=budget,
+            gpu=member.instances[0].gpu if member.instances else None,
+        )
+        if not scores:
+            return None
+        best = scores[0]
+        return (best.prefill_parallel, best.decode_parallel)

@@ -88,6 +88,67 @@ class WindServeSystem(ServingSystem):
             {"kv-handoff", "kv-async", "migration-bulk", "migration-residual"}
         )
 
+    def rebuild_placement(
+        self, placement: Placement, prefill_gpu=None, decode_gpu=None
+    ) -> None:
+        """Re-split this member onto a new placement (fleet re-planning).
+
+        Call between ``crash()`` (which drains the member: KV freed,
+        queues swept, callbacks inert) and ``restart()``.  Fresh prefill
+        and decode instances are built on the new placement — optionally
+        on different GPU types — and the Global Scheduler machinery
+        (profilers, coordinator, migration manager) is rebuilt around
+        them.  The crashed instances' fully-freed KV ledgers are archived
+        into the new instances' ``retired_kv``, so freed-exactly-once
+        audits still see the member's whole allocation history.
+        """
+        if not self.halted:
+            raise RuntimeError("rebuild_placement requires a drained (crashed) member")
+        old_prefill, old_decode = self.prefill_instance, self.decode_instance
+        self.placement = placement
+        self.instances = []
+        self.prefill_instance = self.register(
+            WindServePrefillInstance(
+                "prefill",
+                self.sim,
+                self.config.model,
+                prefill_gpu or old_prefill.gpu,
+                placement.prefill_parallel,
+                placement.prefill_gpus,
+                self.metrics,
+                self.transfers,
+                self.config.instance,
+                trace=self.trace,
+            )
+        )
+        self.decode_instance = self.register(
+            WindServeDecodeInstance(
+                "decode",
+                self.sim,
+                self.config.model,
+                decode_gpu or old_decode.gpu,
+                placement.decode_parallel,
+                placement.decode_gpus,
+                self.metrics,
+                self.transfers,
+                self.config.decode_instance_config,
+                trace=self.trace,
+            )
+        )
+        self.prefill_instance.retired_kv.extend(
+            old_prefill.retired_kv + [old_prefill.kv]
+        )
+        self.decode_instance.retired_kv.extend(old_decode.retired_kv + [old_decode.kv])
+        self.prefill_profiler = Profiler(self.prefill_instance.latency)
+        self.decode_profiler = Profiler(self.decode_instance.latency)
+        self.assist_budget_tokens = self._derive_assist_budget()
+        self.coordinator = Coordinator(self)
+        self.migrations = MigrationManager(self)
+        self.backups.clear()
+        self._handoff.clear()
+        self.known_failed.clear()
+        self._orphans.clear()
+
     def _derive_assist_budget(self) -> int:
         cfg = self.ws_config
         if cfg.assist_budget_tokens is not None:

@@ -115,3 +115,15 @@ def get_gpu(name: str) -> GPUSpec:
     if key not in GPU_REGISTRY:
         raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_REGISTRY)}")
     return GPU_REGISTRY[key]
+
+
+def gpu_key(spec: GPUSpec) -> str:
+    """Reverse lookup: the registry key of a spec (billing namespaces).
+
+    Custom specs that are not registered fall back to a slug of their
+    device name, so per-type accounting still gets a stable key.
+    """
+    for key, known in GPU_REGISTRY.items():
+        if known == spec:
+            return key
+    return spec.name.lower().replace(" ", "-")

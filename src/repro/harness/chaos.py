@@ -448,6 +448,13 @@ class FleetChaosSpec:
     # ``tenant_rate`` 0 disables the limiter.
     tenant_rate: float = 0.0
     tenant_burst: float = 0.0
+    # Heterogeneous fleet-shape spec ("h100:2,a800:4"); None keeps the
+    # homogeneous num_nodes x pairs_per_node layout (byte-identical to
+    # pre-shape runs).
+    shape: Optional[str] = None
+    # Attach the failure-reactive re-planner (widens survivors over spare
+    # home-node GPUs when a member is declared dead).
+    replan: bool = False
 
     def parsed_tier_mix(self) -> Optional[TierMix]:
         return TierMix.parse(self.tier_mix) if self.tier_mix else None
@@ -457,6 +464,18 @@ class FleetChaosSpec:
 
     def parsed_tenant_mix(self) -> Optional[TenantMix]:
         return TenantMix.parse(self.tenant_mix) if self.tenant_mix else None
+
+    def parsed_shape(self):
+        from repro.core.config import FleetShape
+
+        return FleetShape.parse(self.shape) if self.shape else None
+
+    @property
+    def num_members(self) -> int:
+        parsed = self.parsed_shape()
+        if parsed is not None:
+            return len(parsed)
+        return self.num_nodes * self.pairs_per_node
 
 
 @dataclass
@@ -484,7 +503,7 @@ class FleetChaosResult:
     def row(self) -> dict:
         out = {
             "plan": self.spec.fault_plan,
-            "members": self.spec.num_nodes * self.spec.pairs_per_node,
+            "members": self.spec.num_members,
             "submitted": self.submitted,
             "completed": self.completed,
             "shed": self.shed,
@@ -510,12 +529,17 @@ class FleetChaosResult:
 def build_chaos_fleet(spec: FleetChaosSpec):
     """Construct the WindServe fleet a :class:`FleetChaosSpec` describes."""
     from repro.core.autoscaler import AutoscalerConfig, AutoscalingFleet
-    from repro.core.fleet import build_windserve_fleet
+    from repro.core.fleet import build_windserve_fleet, cluster_for_shape
+    from repro.core.replan import FleetReplanner
     from repro.hardware.cluster import ClusterTopology
     from repro.serving.instance import InstanceConfig
     from repro.serving.system import SystemConfig
 
-    cluster = ClusterTopology(num_nodes=spec.num_nodes, gpus_per_node=8)
+    shape = spec.parsed_shape()
+    if shape is not None:
+        cluster = cluster_for_shape(shape, pairs_per_node=spec.pairs_per_node)
+    else:
+        cluster = ClusterTopology(num_nodes=spec.num_nodes, gpus_per_node=8)
     config = SystemConfig(
         model=get_model(spec.model),
         instance=InstanceConfig(prefix_cache_tokens=spec.prefix_cache_tokens),
@@ -525,7 +549,7 @@ def build_chaos_fleet(spec: FleetChaosSpec):
     )
     fleet_factory = None
     if spec.standby:
-        members_total = spec.num_nodes * spec.pairs_per_node
+        members_total = spec.num_members
         if not 0 < spec.standby < members_total:
             raise ValueError(
                 f"standby must leave at least one active member "
@@ -551,7 +575,10 @@ def build_chaos_fleet(spec: FleetChaosSpec):
         policy=spec.policy,
         span_nodes=spec.span_nodes,
         fleet_factory=fleet_factory,
+        shape=shape,
     )
+    if spec.replan:
+        fleet.replanner = FleetReplanner()
     if spec.tenant_rate > 0:
         fleet.rate_limiter = TenantRateLimiter(
             rate=spec.tenant_rate, burst=spec.tenant_burst or None

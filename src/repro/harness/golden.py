@@ -78,6 +78,10 @@ GOLDEN_TAGS = frozenset(
         "member-detect",
         "member-rejoin",
         "member-replace",
+        # Failure-reactive re-planning: a survivor widened over spare GPUs
+        # (heterogeneous-fleet scenarios).
+        "member-replan",
+        "member-replan-done",
         # Preemptive-displacement decisions (admission_policy="preemptive").
         "preempt-displace",
         # Automatic prefix caching: shortened prefills + cache publications.
@@ -132,6 +136,10 @@ class GoldenScenario:
     # Scheduling-policy cells: non-default router/admission choices.
     fleet_policy: str = "round-robin"
     admission_policy: str = "nested-caps"
+    # Heterogeneous-fleet cells: a fleet-shape spec (per-member GPU type +
+    # parallelism) and the failure-reactive re-planner.
+    fleet_shape: Optional[str] = None
+    fleet_replan: bool = False
     # Prefix-caching cells: a shared-prefix workload plus a per-instance
     # warm-prefix KV budget (0 keeps the cache off, the default behaviour).
     prefix_mix: Optional[str] = None
@@ -220,6 +228,10 @@ class GoldenScenario:
             meta["fleet_span_nodes"] = self.fleet_span_nodes
         if self.fleet_policy != "round-robin":
             meta["fleet_policy"] = self.fleet_policy
+        if self.fleet_shape is not None:
+            meta["fleet_shape"] = self.fleet_shape
+        if self.fleet_replan:
+            meta["fleet_replan"] = self.fleet_replan
         if self.admission_policy != "nested-caps":
             meta["admission_policy"] = self.admission_policy
         if self.prefix_mix is not None:
@@ -428,6 +440,28 @@ def _matrix() -> tuple[GoldenScenario, ...]:
             tenant_max_inflight=4,
         )
     )
+    # Heterogeneous-fleet cell: a mixed narrow-A800/H100 shape routed in
+    # estimated seconds (predicted-ttft), with the member-crash plan taking
+    # out the H100 and the failure-reactive re-planner widening a survivor
+    # over its home node's spare GPUs — pins the per-member hardware in the
+    # request rows, the replan decisions (member-replan[-done]), the
+    # crash-requeue conservation path, and the fleet-shape + replan policy
+    # identity in the fingerprint.
+    cells.append(
+        GoldenScenario(
+            name="windserve-hetero-s15",
+            system="windserve",
+            rate_per_gpu=3.0,
+            seed=15,
+            num_requests=48,
+            fault_plan="member-crash",
+            fleet_nodes=3,
+            fleet_pairs_per_node=1,
+            fleet_policy="predicted-ttft",
+            fleet_shape="a800:1:1x1+1x1,h100:1:2x1+2x1,a800:1:1x1+1x1",
+            fleet_replan=True,
+        )
+    )
     return tuple(cells)
 
 
@@ -471,6 +505,8 @@ def _run_fleet_scenario(scenario: GoldenScenario) -> GoldenRun:
         admission_policy=scenario.admission_policy,
         tenant_mix=scenario.tenant_mix,
         fairshare=scenario.fairshare_config(),
+        shape=scenario.fleet_shape,
+        replan=scenario.fleet_replan,
     )
     fleet = build_chaos_fleet(spec)
     golden_log = TraceLog(enabled=True, tag_filter=lambda tag: tag in GOLDEN_TAGS)

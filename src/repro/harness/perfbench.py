@@ -96,6 +96,9 @@ class BenchPhase:
     # warm-prefix KV budget (None/0 keeps the workload prefix-free).
     prefix_mix: Optional[str] = None
     prefix_cache_tokens: int = 0
+    # Heterogeneous fleet phases: a fleet-shape spec (per-member GPU type
+    # + parallelism); None keeps the homogeneous fleet layout.
+    fleet_shape: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -138,6 +141,13 @@ def standard_phases(num_requests: int) -> tuple[BenchPhase, ...]:
             max(1, num_requests // 5),
             prefix_mix="none=0.25,assistant=0.5:384,fewshot=0.25:640",
             prefix_cache_tokens=4096,
+        ),
+        BenchPhase(
+            "fleet-hetero",
+            "fleet",
+            max(1, num_requests // 10),
+            fleet_pairs_per_node=1,
+            fleet_shape="a800:2,h100:2",
         ),
     )
 
@@ -221,6 +231,7 @@ def _run_fleet(spec: BenchSpec, phase: BenchPhase) -> dict:
         burstiness_cv=spec.burstiness_cv,
         num_nodes=phase.fleet_nodes,
         pairs_per_node=phase.fleet_pairs_per_node,
+        shape=phase.fleet_shape,
     )
     fleet = build_chaos_fleet(fleet_spec)
     t0 = time.perf_counter()

@@ -9,9 +9,13 @@ fit the node, run a short workload through each, and rank.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.hardware.gpu import A800_80GB, GPUSpec, get_gpu
 from repro.harness.runner import ExperimentSpec, run_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import FleetShape
 
 
 @dataclass
@@ -49,8 +53,14 @@ def search_placement(
     num_requests: int = 300,
     num_node_gpus: int = 8,
     seed: int = 0,
+    gpu: Optional[GPUSpec] = None,
 ) -> list[PlacementScore]:
-    """Rank candidate placements by simulated SLO attainment (ties: goodput)."""
+    """Rank candidate placements by simulated SLO attainment (ties: goodput).
+
+    ``gpu`` searches on a specific device type (heterogeneous fleets rank
+    per-member placements on each member's own hardware); the default is
+    the paper's A800 testbed.
+    """
     scores: list[PlacementScore] = []
     for prefill_par, decode_par in candidates or DEFAULT_CANDIDATES:
         gpus = prefill_par[0] * prefill_par[1] + decode_par[0] * decode_par[1]
@@ -66,6 +76,7 @@ def search_placement(
             prefill_parallel=prefill_par,
             decode_parallel=decode_par,
             num_node_gpus=num_node_gpus,
+            gpu=gpu if gpu is not None else A800_80GB,
         )
         try:
             result = run_experiment(spec)
@@ -84,3 +95,46 @@ def search_placement(
         )
     scores.sort(key=lambda s: (s.slo_attainment, s.goodput_per_gpu), reverse=True)
     return scores
+
+
+def plan_shape_placements(
+    shape: "FleetShape",
+    system: str = "windserve",
+    model: str = "opt-13b",
+    dataset: str = "sharegpt",
+    rate_per_gpu: float = 3.0,
+    num_requests: int = 120,
+    seed: int = 0,
+    gpu_budget: Optional[int] = None,
+) -> list[PlacementScore]:
+    """Best searched placement per fleet-shape member, member order.
+
+    Each distinct (GPU type, GPU budget) pair is searched once on that
+    member's own hardware; members sharing hardware share the result.
+    ``gpu_budget`` caps each member's search at that many GPUs (default:
+    the member's declared footprint), which is how the re-planner asks
+    "what would this member do with N more GPUs?".
+    """
+    cache: dict[tuple[str, int], PlacementScore] = {}
+    plans: list[PlacementScore] = []
+    for member in shape.members:
+        budget = gpu_budget or member.num_gpus
+        key = (member.gpu, budget)
+        if key not in cache:
+            scores = search_placement(
+                system,
+                model,
+                dataset,
+                rate_per_gpu,
+                num_requests=num_requests,
+                num_node_gpus=budget,
+                seed=seed,
+                gpu=get_gpu(member.gpu),
+            )
+            if not scores:
+                raise ValueError(
+                    f"no feasible placement for {member.gpu} within {budget} GPUs"
+                )
+            cache[key] = scores[0]
+        plans.append(cache[key])
+    return plans

@@ -91,6 +91,11 @@ class PredictedTTFTRouting(RoutingPolicy):
         own prefill latency model, after the busiest lane's current batch
         drains.  (The old fallback returned a raw request *count*, which is
         incommensurable with seconds and mis-ranked mixed fleets.)
+
+        Because every score flows through the member's *own*
+        ``LatencyModel``, the ranking stays correct on heterogeneous
+        fleets: an H100 member with a deeper queue can still predict a
+        cheaper TTFT than an idle-ish A800, and it will win the request.
         """
         from repro.core.windserve import WindServeSystem
 
@@ -128,6 +133,14 @@ class TierAwareRouting(RoutingPolicy):
     standard arrivals join the lightest member; best-effort arrivals join
     the heaviest (they absorb the stragglers), which keeps the light
     members fast for the latency-sensitive tiers.
+
+    On heterogeneous fleets the count alone mis-ranks unequal hardware, so
+    the weighted count is scaled into estimated *seconds* by the member's
+    own service scale — the time its prefill latency model needs for a
+    reference prompt.  An H100 holding six requests can genuinely be
+    "lighter" than an A800 holding four.  On homogeneous fleets every
+    member shares one scale, so the ordering (ties included) is exactly
+    the pre-scale ordering and old goldens keep their digests.
     """
 
     name = "tier-aware"
@@ -136,11 +149,41 @@ class TierAwareRouting(RoutingPolicy):
     #: weigh like ``standard``.
     TIER_WEIGHTS = {"interactive": 3.0, "standard": 2.0, "best_effort": 1.0}
 
+    #: Prompt length the service scale prices (one mid-size prefill).
+    REFERENCE_TOKENS = 512
+
+    def __init__(self) -> None:
+        # Latency-model object -> its reference prefill seconds.  Keyed by
+        # the model instance itself (a replan rebuilds instances, so the
+        # new latency model re-prices automatically); the model reference
+        # in the value pins it against id() reuse.
+        self._scales: dict[int, tuple[object, float]] = {}
+
+    def service_scale(self, member: "ServingSystem") -> float:
+        """Seconds this member's hardware needs for a reference prefill.
+
+        Members without instances (stubs, fully-degraded systems) scale
+        by 1.0 — the score falls back to the pure tier-weighted count.
+        """
+        instance = getattr(member, "prefill_instance", None)
+        if instance is None:
+            instances = getattr(member, "instances", None)
+            instance = instances[0] if instances else None
+        if instance is None:
+            return 1.0
+        latency = instance.latency
+        cached = self._scales.get(id(latency))
+        if cached is None or cached[0] is not latency:
+            cached = (latency, latency.prefill(self.REFERENCE_TOKENS).duration)
+            self._scales[id(latency)] = cached
+        return cached[1]
+
     def weighted_load(self, member: "ServingSystem") -> float:
-        return sum(
-            self.TIER_WEIGHTS.get(tier, 2.0) * count
-            for tier, count in member.in_flight_by_tier().items()
+        count = sum(
+            self.TIER_WEIGHTS.get(tier, 2.0) * n
+            for tier, n in member.in_flight_by_tier().items()
         )
+        return count * self.service_scale(member)
 
     def select(
         self, fleet: "ServingFleet", candidates: Sequence[int], request: Request

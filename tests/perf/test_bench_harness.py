@@ -108,9 +108,11 @@ def test_record_bench_writes_numbered_trajectory(tmp_path):
 
 def test_standard_phases_scale_with_request_count():
     phases = standard_phases(100_000)
-    assert [p.kind for p in phases] == ["single", "fleet", "chaos", "single"]
+    assert [p.kind for p in phases] == ["single", "fleet", "chaos", "single", "fleet"]
     assert phases[0].num_requests == 100_000
     assert phases[1].num_requests < phases[0].num_requests
     assert phases[3].name == "prefix-cached"
     assert phases[3].prefix_mix and phases[3].prefix_cache_tokens > 0
+    assert phases[4].name == "fleet-hetero"
+    assert phases[4].fleet_shape == "a800:2,h100:2"
     assert all(p.num_requests >= 1 for p in standard_phases(1))

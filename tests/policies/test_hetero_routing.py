@@ -1,0 +1,94 @@
+"""Property: predicted-ttft scores are shape-permutation invariant.
+
+On an idle heterogeneous fleet a member's predicted TTFT is a function of
+its *hardware and parallelism*, not of its position in the fleet-shape
+spec.  Permuting the member terms must permute the score vector the same
+way — so the multiset of scores per term, and the winning (minimum)
+score, are invariant.  Argmin *indices* are deliberately not compared:
+identical terms tie, and ties resolve by candidate order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FleetShape
+from repro.core.fleet import build_windserve_fleet
+from repro.harness.differential import clone_requests, workload_rows
+from repro.models.registry import get_model
+from repro.policies.routing import PredictedTTFTRouting
+from repro.serving.metrics import SLO
+from repro.serving.system import SystemConfig
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace import generate_trace
+
+#: Member terms the strategy mixes.  RTX-4090 is excluded on purpose:
+#: opt-13b does not fit its 24 GB at TP-1, and construction would fail.
+TERMS = (
+    "a800:1:1x1+1x1",
+    "a800:1:2x1+2x1",
+    "h100:1:1x1+1x1",
+    "h100:1:2x1+2x1",
+)
+
+WORKLOAD = generate_trace(
+    SHAREGPT, rate=4.0, num_requests=1, seed=7, model=get_model("opt-13b")
+)
+ROWS = workload_rows(WORKLOAD)
+
+
+def score_by_term(terms: list[str]) -> tuple[dict[str, list[float]], float]:
+    """Build a fleet from the terms and score every member for one request."""
+    fleet = build_windserve_fleet(
+        SystemConfig(model=get_model("opt-13b"), slo=SLO(ttft=0.25, tpot=0.1)),
+        pairs_per_node=1,
+        policy="predicted-ttft",
+        shape=FleetShape.parse(",".join(terms)),
+    )
+    request = clone_requests(ROWS)[0]
+    scores: dict[str, list[float]] = {}
+    for term, member in zip(terms, fleet.members):
+        scores.setdefault(term, []).append(
+            PredictedTTFTRouting.predicted_ttft(member, request)
+        )
+    for values in scores.values():
+        values.sort()
+    return scores, min(v for vs in scores.values() for v in vs)
+
+
+@st.composite
+def shape_and_permutation(draw):
+    terms = draw(st.lists(st.sampled_from(TERMS), min_size=2, max_size=4))
+    permuted = draw(st.permutations(terms))
+    return terms, list(permuted)
+
+
+class TestPermutationInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(shape_and_permutation())
+    def test_scores_follow_the_member_not_the_position(self, shapes):
+        terms, permuted = shapes
+        scores, best = score_by_term(terms)
+        scores_p, best_p = score_by_term(permuted)
+        assert scores == scores_p
+        assert best == best_p
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.sampled_from(TERMS), min_size=2, max_size=3))
+    def test_scores_are_finite_seconds(self, terms):
+        scores, best = score_by_term(terms)
+        for values in scores.values():
+            for value in values:
+                assert 0.0 < value < 60.0
+        assert best == min(min(v) for v in scores.values())
+
+    def test_identical_terms_tie_exactly(self):
+        scores, _ = score_by_term(["a800:1:1x1+1x1", "a800:1:1x1+1x1"])
+        values = scores["a800:1:1x1+1x1"]
+        assert len(values) == 2
+        assert values[0] == values[1]
+
+    def test_h100_outscores_a800_at_equal_shape(self):
+        scores, _ = score_by_term(["a800:1:2x1+2x1", "h100:1:2x1+2x1"])
+        assert scores["h100:1:2x1+2x1"][0] < scores["a800:1:2x1+2x1"][0]
